@@ -1,0 +1,65 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section via the harness functions in :mod:`repro.harness.figures` and prints
+the same rows/series the paper reports. Scale knobs:
+
+* ``REPRO_MEMOPS``   — memory references per core per run (default 2500;
+  shorter runs dilute coherence effects with cold-start misses).
+* ``REPRO_APPS``     — comma-separated app subset (default: a representative
+  six-app set; pass ``all`` for the full 20-application suite).
+* ``REPRO_CORES``    — core count for single-machine benches (default 64).
+
+The benchmarks assert only *shape* properties (who wins, monotonicity),
+never absolute cycle counts — matching the reproduction contract in
+DESIGN.md.
+"""
+
+import os
+
+import pytest
+
+#: Representative subset spanning the paper's behaviour classes: two big
+#: WiDir winners, two mid apps, two no-sharing PARSEC apps.
+DEFAULT_APPS = (
+    "radiosity",
+    "ocean-nc",
+    "barnes",
+    "water-spa",
+    "blackscholes",
+    "ferret",
+)
+
+
+def selected_apps():
+    raw = os.environ.get("REPRO_APPS", "")
+    if not raw:
+        return DEFAULT_APPS
+    if raw.strip().lower() == "all":
+        from repro.workloads.profiles import ALL_APPS
+
+        return ALL_APPS
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def memops():
+    return int(os.environ.get("REPRO_MEMOPS", "2500"))
+
+
+def cores():
+    return int(os.environ.get("REPRO_CORES", "64"))
+
+
+@pytest.fixture(scope="session")
+def bench_apps():
+    return selected_apps()
+
+
+@pytest.fixture(scope="session")
+def bench_memops():
+    return memops()
+
+
+@pytest.fixture(scope="session")
+def bench_cores():
+    return cores()

@@ -1,0 +1,41 @@
+"""Figure 10: average speedup over the 4-core Baseline, 4 -> 64 cores.
+
+Paper: the protocols track each other up to ~16 cores, then diverge —
+WiDir keeps scaling while Baseline's wired-mesh costs flatten it.
+"""
+
+import os
+
+from repro.harness.figures import figure10_scalability
+
+
+def core_counts():
+    raw = os.environ.get("REPRO_FIG10_CORES", "4,8,16,32,64")
+    return tuple(int(x) for x in raw.split(","))
+
+
+def test_bench_fig10_scalability(benchmark, bench_apps, bench_memops):
+    counts = core_counts()
+    figure = benchmark.pedantic(
+        figure10_scalability,
+        kwargs=dict(apps=bench_apps, core_counts=counts, memops=bench_memops),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure.text)
+    print("\npaper shape: curves overlap to ~16 cores, then WiDir pulls ahead")
+    rows = {row[0]: (row[1], row[2]) for row in figure.rows}
+    # Shape 1: both protocols speed up with more cores overall.
+    smallest, largest = counts[0], counts[-1]
+    assert rows[largest][0] > rows[smallest][0]
+    assert rows[largest][1] > rows[smallest][1]
+    # Shape 2: at the largest machine, WiDir is at least as fast as Baseline.
+    assert rows[largest][1] >= rows[largest][0] * 0.98, (
+        f"WiDir should match/beat Baseline at {largest} cores: {rows[largest]}"
+    )
+    # Shape 3: the relative WiDir advantage does not vanish at scale (the
+    # paper's curves diverge; synthetic contention keeps ours parallel).
+    small_gap = rows[smallest][1] / rows[smallest][0]
+    large_gap = rows[largest][1] / rows[largest][0]
+    assert large_gap >= small_gap * 0.9

@@ -1,0 +1,26 @@
+"""Figure 7: total memory-operation latency, normalized to Baseline.
+
+Paper (64 cores): WiDir reduces total memory latency by ~35% on average,
+with similar reductions for loads and stores.
+"""
+
+from repro.harness.figures import figure7_memory_latency
+
+
+def test_bench_fig7_memory_latency(benchmark, bench_apps, bench_memops, bench_cores):
+    figure = benchmark.pedantic(
+        figure7_memory_latency,
+        kwargs=dict(apps=bench_apps, num_cores=bench_cores, memops=bench_memops),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure.text)
+    print("\npaper: WiDir/Baseline total memory latency geomean ~0.65")
+    ratios = {row[0]: row[-1] for row in figure.rows[:-1]}
+    # Shape: the headline WiDir winners cut their memory latency; the
+    # no-sharing apps are unchanged.
+    if "radiosity" in ratios and bench_cores >= 32:
+        assert ratios["radiosity"] < 1.0
+    if "blackscholes" in ratios:
+        assert 0.9 < ratios["blackscholes"] < 1.1

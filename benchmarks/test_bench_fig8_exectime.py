@@ -1,0 +1,48 @@
+"""Figure 8: execution time normalized to Baseline at 64/32/16 cores.
+
+Paper: at 64 cores WiDir reduces average execution time by ~22%; at 32
+cores by ~11%; at 16 cores by ~4% — the benefit grows with core count.
+Bars split into memory-stall and rest; ~65% of Baseline cycles at 64 cores
+are memory stall.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.figures import figure8_execution_time
+
+PAPER_REDUCTION = {64: 0.22, 32: 0.11, 16: 0.04}
+
+
+def core_counts():
+    raw = os.environ.get("REPRO_FIG8_CORES", "64,32,16")
+    return tuple(int(x) for x in raw.split(","))
+
+
+def test_bench_fig8_execution_time(benchmark, bench_apps, bench_memops):
+    counts = core_counts()
+    results = benchmark.pedantic(
+        figure8_execution_time,
+        kwargs=dict(apps=bench_apps, core_counts=counts, memops=bench_memops),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    geomeans = {}
+    for cores, figure in results.items():
+        print(figure.text)
+        print(f"paper: ~{PAPER_REDUCTION.get(cores, 0):.0%} average reduction "
+              f"at {cores} cores\n")
+        geomeans[cores] = figure.rows[-1][-1]
+    # Shape: the WiDir advantage does not shrink as cores grow — the
+    # paper's central scalability claim.
+    ordered = sorted(geomeans)  # ascending core counts
+    if len(ordered) >= 2:
+        assert geomeans[ordered[-1]] <= geomeans[ordered[0]] + 0.05, (
+            f"WiDir benefit should grow with core count: {geomeans}"
+        )
+    if 64 in geomeans:
+        assert geomeans[64] < 1.0, (
+            f"WiDir must win on average at 64 cores, got {geomeans[64]}"
+        )

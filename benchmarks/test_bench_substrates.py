@@ -1,0 +1,140 @@
+"""Micro-benchmarks of the substrates under the paper's Table III settings.
+
+Not paper artifacts — these characterize the building blocks so regressions
+in the protocol benches can be attributed: wireless channel throughput and
+collision behaviour under swept load, ToneAck latency vs node count, and
+wired-mesh latency under contention.
+"""
+
+from repro.config.system import NocConfig, WirelessConfig
+from repro.engine.rng import DeterministicRng
+from repro.engine.simulator import Simulator
+from repro.noc.mesh import MeshNetwork
+from repro.noc.message import Message
+from repro.noc.topology import MeshTopology
+from repro.stats.collectors import StatsRegistry
+from repro.stats.report import format_table
+from repro.wireless.channel import WirelessDataChannel
+from repro.wireless.frames import WirelessFrame
+from repro.wireless.tone import ToneChannel
+
+
+def test_bench_wireless_channel_load_sweep(benchmark):
+    """Throughput and collisions across offered loads (BRS behaviour)."""
+
+    def sweep():
+        rows = []
+        for interarrival in (48, 24, 12, 6, 3):
+            sim = Simulator(3)
+            stats = StatsRegistry()
+            channel = WirelessDataChannel(
+                sim, WirelessConfig(), 16, stats, DeterministicRng(1)
+            )
+            channel.register_receiver(0, lambda f: None)
+            jitter = DeterministicRng(2)
+            frames = 400
+            for i in range(frames):
+                at = i * interarrival + jitter.randint(0, interarrival)
+                sim.schedule(
+                    at,
+                    lambda i=i: channel.transmit(
+                        WirelessFrame("WirUpd", i % 16, 0x100 + (i % 8), 0, i)
+                    ),
+                )
+            final = sim.run(max_events=10_000_000)
+            delivered = stats.get_counter("wnoc.frames")
+            rows.append(
+                [
+                    f"1/{interarrival}",
+                    delivered,
+                    round(delivered / max(1, final), 4),
+                    round(channel.collision_probability, 3),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["offered (frames/cyc)", "delivered", "throughput", "collision p"],
+            rows,
+            title="Wireless channel load sweep (capacity = 1/6 per cycle)",
+        )
+    )
+    # Every offered frame is eventually delivered (liveness), and collisions
+    # grow monotonically with load.
+    assert all(row[1] == 400 for row in rows)
+    collisions = [row[3] for row in rows]
+    assert collisions[-1] >= collisions[0]
+
+
+def test_bench_tone_ack_scales_flat(benchmark):
+    """ToneAck latency is independent of node count (paper III-C2)."""
+
+    def sweep():
+        rows = []
+        for nodes in (4, 16, 64, 256):
+            sim = Simulator()
+            tone = ToneChannel(sim, 1, StatsRegistry())
+            done = []
+            tone.begin(0x40, set(range(nodes)), lambda: done.append(sim.now))
+            # Every node completes its local check after 3 cycles.
+            for node in range(nodes):
+                sim.schedule(3, lambda n=node: tone.drop(0x40, n))
+            sim.run()
+            rows.append([nodes, done[0]])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["nodes", "ToneAck completion (cycles)"],
+            rows,
+            title="ToneAck latency vs node count",
+        )
+    )
+    latencies = {row[1] for row in rows}
+    assert len(latencies) == 1, f"ToneAck must be node-count independent: {rows}"
+
+
+def test_bench_mesh_latency_under_contention(benchmark):
+    """Wired mesh: latency of a victim flow while a hotspot is hammered."""
+
+    def sweep():
+        rows = []
+        for hammer_messages in (0, 50, 200):
+            sim = Simulator()
+            topology = MeshTopology(64, 8)
+            stats = StatsRegistry()
+            mesh = MeshNetwork(sim, topology, NocConfig(), stats)
+            arrivals = []
+            for node in range(64):
+                mesh.register_handler(
+                    node, lambda m, n=node: arrivals.append((n, sim.now))
+                )
+            # Hotspot: many data messages crossing the middle links.
+            for i in range(hammer_messages):
+                mesh.send(Message("Data", 0, 63, 0x40 + i, {"data": {}}))
+            # Victim: one control message along the same diagonal.
+            mesh.send(Message("GetS", 0, 63, 0x9999))
+            sim.run()
+            victim_arrival = max(t for n, t in arrivals if n == 63)
+            rows.append(
+                [hammer_messages, victim_arrival,
+                 stats.get_counter("noc.queueing_cycles")]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["hotspot msgs", "last arrival (cyc)", "queueing cycles"],
+            rows,
+            title="Mesh contention: hotspot traffic delays co-routed flows",
+        )
+    )
+    assert rows[-1][1] > rows[0][1], "contention must add latency"
+    assert rows[-1][2] > 0

@@ -1,0 +1,28 @@
+"""Table V: distribution of wired hops per coherence leg (64-core Baseline).
+
+Paper: 0-2 hops 17%, 3-5 hops 22%, 6-8 hops 31%, 9-11 hops 21%, 12-16 hops
+9% — i.e., more than half of all wired messages travel 6+ hops.
+"""
+
+from repro.harness.figures import table5_hop_distribution
+
+PAPER = {"0-2": 0.17, "3-5": 0.22, "6-8": 0.31, "9-11": 0.21, "12+": 0.09}
+
+
+def test_bench_table5_hop_distribution(benchmark, bench_apps, bench_memops):
+    figure = benchmark.pedantic(
+        table5_hop_distribution,
+        kwargs=dict(apps=bench_apps, num_cores=64, memops=bench_memops),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure.text)
+    print(f"\npaper distribution: {PAPER}")
+    measured = {row[0]: row[1] for row in figure.rows}
+    assert abs(sum(measured.values()) - 1.0) < 1e-9
+    # Shape: a large share of messages needs many hops on an 8x8 mesh —
+    # the cost WiDir's single-hop broadcast avoids.
+    assert measured["6-8"] + measured["9-11"] + measured["12+"] > 0.25
+    # The middle bins dominate the extremes, as in the paper.
+    assert measured["3-5"] + measured["6-8"] > measured["12+"]

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: run one application on Baseline and WiDir and compare.
+
+This is the smallest end-to-end use of the library: pick a paper
+application, run it on both machines (identical reference streams), and
+print the headline metrics the paper reports.
+
+Usage::
+
+    python examples/quickstart.py [app] [cores] [memops]
+
+Defaults: radiosity, 16 cores, 800 memory references per core (a few
+seconds). Any application from ``repro.ALL_APPS`` works.
+"""
+
+import sys
+
+from repro import ALL_APPS, run_pair
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "radiosity"
+    cores = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    memops = int(sys.argv[3]) if len(sys.argv) > 3 else 800
+    if app not in ALL_APPS:
+        raise SystemExit(f"unknown app {app!r}; choose from: {', '.join(ALL_APPS)}")
+
+    print(f"Running {app} on {cores} cores ({memops} refs/core) ...")
+    baseline, widir = run_pair(app, num_cores=cores, memops_per_core=memops)
+
+    speedup = baseline.cycles / widir.cycles
+    print(f"\n=== {app} @ {cores} cores ===")
+    print(f"  Baseline execution time : {baseline.cycles:>10,} cycles")
+    print(f"  WiDir execution time    : {widir.cycles:>10,} cycles")
+    print(f"  WiDir speedup           : {speedup:>10.3f}x")
+    print(f"  Baseline L1 MPKI        : {baseline.mpki:>10.2f}")
+    print(f"  WiDir L1 MPKI           : {widir.mpki:>10.2f}")
+    print(f"  Baseline memory stall   : {baseline.memory_stall_fraction:>10.1%}")
+    print(f"  Wireless writes         : {widir.wireless_writes:>10,}")
+    print(f"  Collision probability   : {widir.collision_probability:>10.2%}")
+    print(f"  S->W transitions        : "
+          f"{widir.stats_counters.get('dir.total.s_to_w', 0):>10,}")
+    print(f"  Sharers-per-update bins : {widir.sharer_histogram}")
+    print(f"  WiDir energy vs Baseline: "
+          f"{widir.energy.total / max(1.0, baseline.energy.total):>10.3f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The primary build configuration lives in ``pyproject.toml``; this file exists
+so that ``pip install -e . --no-use-pep517`` works on environments whose
+setuptools lacks the ``wheel`` package (PEP 517 editable installs require it).
+"""
+
+from setuptools import setup
+
+setup()

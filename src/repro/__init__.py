@@ -1,0 +1,47 @@
+"""WiDir: a wireless-enabled directory cache coherence protocol.
+
+Full-system Python reproduction of *WiDir: A Wireless-Enabled Directory
+Cache Coherence Protocol* (Franques et al., HPCA 2021): an event-driven
+manycore simulator with a MESI Dir_i_B baseline, the WiDir protocol
+(Wireless state, BrWirUpgr/WirUpd/WirDwgr/WirInv transactions, Jamming and
+ToneAck primitives), a wired 2D-mesh NoC, a BRS-MAC wireless NoC, synthetic
+SPLASH-3/PARSEC workload models, energy accounting, and a harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import run_pair
+    base, widir = run_pair("radiosity", num_cores=16, memops_per_core=500)
+    print(widir.cycles / base.cycles)   # < 1.0: WiDir is faster
+
+See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the system
+inventory and the paper-to-repo substitution notes.
+"""
+
+from repro.config import (
+    SystemConfig,
+    baseline_config,
+    paper_config,
+    widir_config,
+)
+from repro.harness.runner import SimulationResult, run_app, run_pair
+from repro.system import Manycore
+from repro.workloads import ALL_APPS, APP_PROFILES, AppProfile, build_traces
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_APPS",
+    "APP_PROFILES",
+    "AppProfile",
+    "Manycore",
+    "SimulationResult",
+    "SystemConfig",
+    "baseline_config",
+    "build_traces",
+    "paper_config",
+    "run_app",
+    "run_pair",
+    "widir_config",
+    "__version__",
+]

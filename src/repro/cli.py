@@ -1,0 +1,168 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the harness without writing any
+Python:
+
+===========  =============================================================
+run          run one app on one machine, print the headline metrics
+compare      run Baseline and WiDir on the same traces, print the ratio
+figure       regenerate a paper artifact (fig5..fig10, table4..table6,
+             motivation) and print its table
+apps         list the 20 application profiles and their calibration
+=========== ==============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.config.presets import baseline_config, widir_config
+from repro.harness import figures as figure_functions
+from repro.harness.motivation import section2c_sharing_probe
+from repro.harness.results_io import result_to_dict
+from repro.harness.runner import run_app, run_pair
+from repro.workloads.profiles import ALL_APPS, APP_PROFILES
+
+FIGURES = {
+    "motivation": lambda **kw: section2c_sharing_probe(
+        apps=list(kw["apps"]), num_cores=kw["cores"], memops=kw["memops"]
+    ),
+    "table4": lambda **kw: figure_functions.table4_mpki_characterization(
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+    ),
+    "fig5": lambda **kw: figure_functions.figure5_sharer_histogram(
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+    ),
+    "fig6": lambda **kw: figure_functions.figure6_mpki(
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+    ),
+    "fig7": lambda **kw: figure_functions.figure7_memory_latency(
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+    ),
+    "table5": lambda **kw: figure_functions.table5_hop_distribution(
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+    ),
+    "fig9": lambda **kw: figure_functions.figure9_energy(
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+    ),
+    "fig10": lambda **kw: figure_functions.figure10_scalability(
+        apps=kw["apps"], memops=kw["memops"]
+    ),
+    "table6": lambda **kw: figure_functions.table6_sensitivity(
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+    ),
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cores", type=int, default=16, help="core count")
+    parser.add_argument(
+        "--memops", type=int, default=800, help="memory references per core"
+    )
+    parser.add_argument("--seed", type=int, default=42, help="machine seed")
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WiDir (HPCA 2021) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one application")
+    run_parser.add_argument("app", choices=ALL_APPS)
+    run_parser.add_argument(
+        "--protocol", choices=("baseline", "widir"), default="widir"
+    )
+    run_parser.add_argument("--json", action="store_true", help="emit JSON")
+    _add_common(run_parser)
+
+    compare_parser = sub.add_parser("compare", help="Baseline vs WiDir")
+    compare_parser.add_argument("app", choices=ALL_APPS)
+    _add_common(compare_parser)
+
+    figure_parser = sub.add_parser("figure", help="regenerate a paper artifact")
+    figure_parser.add_argument("name", choices=sorted(FIGURES))
+    figure_parser.add_argument(
+        "--apps", default="radiosity,water-spa,blackscholes",
+        help="comma-separated app list, or 'all'",
+    )
+    _add_common(figure_parser)
+
+    sub.add_parser("apps", help="list application profiles")
+    return parser.parse_args(argv)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    make = widir_config if args.protocol == "widir" else baseline_config
+    result = run_app(
+        args.app, make(num_cores=args.cores, seed=args.seed), args.memops
+    )
+    if args.json:
+        print(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+        return 0
+    print(f"{args.app} on {args.protocol} @ {args.cores} cores")
+    print(f"  cycles            : {result.cycles:,}")
+    print(f"  L1 MPKI           : {result.mpki:.2f}")
+    print(f"  memory stall      : {result.memory_stall_fraction:.1%}")
+    print(f"  wireless writes   : {result.wireless_writes:,}")
+    print(f"  collision prob    : {result.collision_probability:.2%}")
+    print(f"  energy (pJ)       : {result.energy.total:,.0f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    base, widir = run_pair(
+        args.app, num_cores=args.cores, memops_per_core=args.memops, seed=args.seed
+    )
+    print(f"{args.app} @ {args.cores} cores ({args.memops} refs/core)")
+    print(f"  Baseline cycles : {base.cycles:,}  (MPKI {base.mpki:.2f})")
+    print(f"  WiDir cycles    : {widir.cycles:,}  (MPKI {widir.mpki:.2f})")
+    print(f"  WiDir speedup   : {base.cycles / widir.cycles:.3f}x")
+    print(f"  energy ratio    : {widir.energy.total / base.energy.total:.3f}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    apps = ALL_APPS if args.apps.strip() == "all" else tuple(
+        name.strip() for name in args.apps.split(",") if name.strip()
+    )
+    unknown = [a for a in apps if a not in APP_PROFILES]
+    if unknown:
+        print(f"unknown apps: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    result = FIGURES[args.name](apps=apps, cores=args.cores, memops=args.memops)
+    if isinstance(result, dict):  # figure8-style multi-table
+        for figure in result.values():
+            print(figure.text)
+    else:
+        print(result.text)
+    return 0
+
+
+def _cmd_apps(_args: argparse.Namespace) -> int:
+    print(f"{'app':14s} {'suite':8s} {'paper MPKI':>10s} {'sharing mix'}")
+    for name in ALL_APPS:
+        profile = APP_PROFILES[name]
+        mix = ", ".join(f"{s}w x{w:.2f}" for s, w in profile.sharing_mix)
+        print(f"{name:14s} {profile.suite:8s} {profile.paper_mpki:>10.2f} {mix}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "figure": _cmd_figure,
+        "apps": _cmd_apps,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Cache coherence protocols.
+
+Two protocols share one code base, exactly as in the paper:
+
+* **Baseline** — an invalidation-based MESI directory protocol with a
+  Dir_i_B limited-pointer scheme (``i`` sharer pointers plus a broadcast
+  bit). Implemented by :class:`~repro.coherence.cache.CacheController` and
+  :class:`~repro.coherence.dir_controller.DirectoryController` with
+  ``wireless=None``.
+* **WiDir** — the same controllers with a wireless channel attached, which
+  enables the W (Wireless) state and the transitions of the paper's
+  Tables I and II: BrWirUpgr/WirUpgr/WirUpgrAck, WirUpd, PutW,
+  WirDwgr/WirDwgrAck, and WirInv, supported by the Jamming and ToneAck
+  primitives.
+
+The directory is *blocking*: an entry engaged in a transaction defers new
+requests (the paper's "buffer" option for busy entries) while still accepting
+the messages that complete the in-flight transaction.
+"""
+
+from repro.coherence.cache import CacheController
+from repro.coherence.checker import CoherenceChecker
+from repro.coherence.dir_controller import DirectoryController
+from repro.coherence.directory import DirectoryArray, DirectoryEntry
+from repro.coherence.states import (
+    DIR_EXCLUSIVE,
+    DIR_INVALID,
+    DIR_SHARED,
+    DIR_WIRELESS,
+    EXCLUSIVE,
+    INVALID,
+    MODIFIED,
+    SHARED,
+    WIRELESS,
+)
+
+__all__ = [
+    "CacheController",
+    "CoherenceChecker",
+    "DirectoryArray",
+    "DirectoryController",
+    "DirectoryEntry",
+    "DIR_EXCLUSIVE",
+    "DIR_INVALID",
+    "DIR_SHARED",
+    "DIR_WIRELESS",
+    "EXCLUSIVE",
+    "INVALID",
+    "MODIFIED",
+    "SHARED",
+    "WIRELESS",
+]

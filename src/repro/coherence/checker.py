@@ -1,0 +1,142 @@
+"""Global coherence invariant checking.
+
+The checker inspects the *whole machine* — every private cache and every
+directory slice — and verifies the invariants that any correct realization
+of the protocol must maintain at quiescent points:
+
+* **SWMR**: a line held Modified/Exclusive anywhere is held nowhere else.
+* **Directory accuracy**: a non-busy directory entry's state agrees with the
+  private caches (owner really holds E/M; every S holder is recorded unless
+  its eviction notice is still in flight; W holders do not exceed
+  SharerCount).
+* **Value agreement**: all Shared/Wireless copies of a word, the LLC copy,
+  and (when no dirty copy exists) memory agree.
+
+Tests call :meth:`CoherenceChecker.check` between phases and at the end of a
+run; it raises :class:`~repro.engine.errors.ProtocolError` with a precise
+description on the first violation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.coherence.states import (
+    DIR_EXCLUSIVE,
+    DIR_SHARED,
+    DIR_WIRELESS,
+    EXCLUSIVE,
+    MODIFIED,
+    SHARED,
+    WIRELESS,
+)
+from repro.engine.errors import ProtocolError
+
+
+class CoherenceChecker:
+    """Walks caches and directories validating cross-component invariants."""
+
+    def __init__(self, caches, directories, memory) -> None:
+        self.caches = caches
+        self.directories = directories
+        self.memory = memory
+
+    def _holders(self) -> Dict[int, List]:
+        holders: Dict[int, List] = {}
+        for cache in self.caches:
+            for entry in cache.array.lines():
+                holders.setdefault(entry.line, []).append((cache.node, entry))
+        return holders
+
+    def check(self, quiescent: bool = True) -> None:
+        """Validate all invariants; raise :class:`ProtocolError` on failure.
+
+        ``quiescent=True`` additionally enforces the directory-accuracy and
+        value-agreement invariants, which only hold when no transaction is
+        in flight (no pending events touching the memory system).
+        """
+        holders = self._holders()
+        self._check_swmr(holders)
+        if quiescent:
+            self._check_directory_accuracy(holders)
+            self._check_value_agreement(holders)
+
+    def _check_swmr(self, holders: Dict[int, List]) -> None:
+        for line, entries in holders.items():
+            exclusive = [n for n, e in entries if e.state in (MODIFIED, EXCLUSIVE)]
+            if len(exclusive) > 1:
+                raise ProtocolError(
+                    f"SWMR violated for line 0x{line:x}: "
+                    f"multiple exclusive holders {exclusive}"
+                )
+            if exclusive and len(entries) > 1:
+                others = [n for n, e in entries if e.state not in (MODIFIED, EXCLUSIVE)]
+                raise ProtocolError(
+                    f"SWMR violated for line 0x{line:x}: exclusive holder "
+                    f"{exclusive[0]} coexists with holders {others}"
+                )
+
+    def _check_directory_accuracy(self, holders: Dict[int, List]) -> None:
+        for directory in self.directories:
+            for entry in directory.array.entries():
+                if entry.busy:
+                    continue
+                cached = holders.get(entry.line, [])
+                if entry.state == DIR_EXCLUSIVE:
+                    owners = [n for n, e in cached if e.state in (MODIFIED, EXCLUSIVE)]
+                    if owners != [entry.owner]:
+                        raise ProtocolError(
+                            f"directory E entry 0x{entry.line:x} names owner "
+                            f"{entry.owner} but caches hold {owners}"
+                        )
+                elif entry.state == DIR_SHARED:
+                    actual = {n for n, e in cached if e.state == SHARED}
+                    if not actual.issubset(entry.sharers):
+                        raise ProtocolError(
+                            f"directory S entry 0x{entry.line:x} misses sharers "
+                            f"{actual - entry.sharers}"
+                        )
+                elif entry.state == DIR_WIRELESS:
+                    actual = {n for n, e in cached if e.state == WIRELESS}
+                    if len(actual) > entry.sharer_count:
+                        raise ProtocolError(
+                            f"directory W entry 0x{entry.line:x} counts "
+                            f"{entry.sharer_count} sharers but caches hold "
+                            f"{sorted(actual)}"
+                        )
+
+    @staticmethod
+    def _dense(data: Dict[int, int]) -> Dict[int, int]:
+        """Drop zero-valued words: sparse line images treat them as implicit."""
+        return {word: value for word, value in data.items() if value != 0}
+
+    def _check_value_agreement(self, holders: Dict[int, List]) -> None:
+        directory_by_home: Dict[int, object] = {
+            d.node: d for d in self.directories
+        }
+        for line, entries in holders.items():
+            shared_copies = [e for _, e in entries if e.state in (SHARED, WIRELESS)]
+            if len(shared_copies) < 1:
+                continue
+            reference = shared_copies[0]
+            for other in shared_copies[1:]:
+                if self._dense(other.data) != self._dense(reference.data):
+                    raise ProtocolError(
+                        f"divergent shared copies of line 0x{line:x}: "
+                        f"{reference.data} vs {other.data}"
+                    )
+            home = directory_by_home.get(self.caches[0].amap.home_of(line))
+            if home is None:
+                continue
+            dir_entry = home.array.lookup(line, touch=False)
+            if (
+                dir_entry is not None
+                and dir_entry.has_data
+                and not dir_entry.busy
+                and dir_entry.state in (DIR_SHARED, DIR_WIRELESS)
+                and self._dense(dir_entry.data) != self._dense(reference.data)
+            ):
+                raise ProtocolError(
+                    f"LLC copy of line 0x{line:x} diverges from sharers: "
+                    f"{dir_entry.data} vs {reference.data}"
+                )

@@ -1,0 +1,192 @@
+"""Per-word coherence-order validation of observed execution histories.
+
+The :class:`CoherenceChecker` validates machine *state*; this module
+validates machine *behaviour*: record every load and store the cores
+perform (with completion timestamps), then check per word that the
+observed reads are explainable by a single total order of writes —
+cache coherence's per-location serialization guarantee.
+
+The check implemented is deliberately per-location (coherence), not
+cross-location (sequential consistency): the paper's protocol — like the
+MESI baseline — guarantees write serialization per line, while the machine
+model has a store buffer (so cross-location TSO-style reorderings are
+legal and must not be flagged).
+
+Usage::
+
+    recorder = HistoryRecorder()
+    ... issue ops through recorder.load / recorder.store ...
+    machine.run()
+    violations = recorder.validate()
+    assert not violations
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+
+class WriteEvent(NamedTuple):
+    core: int
+    value: int
+    issued: int
+    completed: int
+
+
+class ReadEvent(NamedTuple):
+    core: int
+    value: int
+    issued: int
+    completed: int
+
+
+class Violation(NamedTuple):
+    address: int
+    reason: str
+
+
+class HistoryRecorder:
+    """Wraps a machine's cache interfaces and records the history.
+
+    WiDir is *not multi-copy atomic*: a wireless store completes for its
+    writer at the channel's commit point, but other sharers observe it only
+    at frame delivery, ``frame_cycles`` later (the writer reads its own
+    write early — legal under TSO-like models, and safe here because the
+    channel serializes all updates to a line). The validator therefore
+    treats a write as globally visible ``visibility_lag`` cycles after its
+    recorded completion; zero on a purely wired machine.
+    """
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self._writes: Dict[int, List[WriteEvent]] = {}
+        self._reads: Dict[int, List[ReadEvent]] = {}
+        self.visibility_lag = (
+            machine.config.wireless.frame_cycles
+            if machine.wireless is not None
+            else 0
+        )
+
+    # ----------------------------------------------------------- recording
+
+    def store(self, core: int, address: int, value: int,
+              on_done: Optional[Callable[[], None]] = None) -> None:
+        issued = self.machine.sim.now
+
+        def done() -> None:
+            self._writes.setdefault(address, []).append(
+                WriteEvent(core, value, issued, self.machine.sim.now)
+            )
+            if on_done is not None:
+                on_done()
+
+        self.machine.caches[core].store(address, value, done)
+
+    def load(self, core: int, address: int,
+             on_done: Optional[Callable[[int], None]] = None) -> None:
+        issued = self.machine.sim.now
+
+        def done(value: int) -> None:
+            self._reads.setdefault(address, []).append(
+                ReadEvent(core, value, issued, self.machine.sim.now)
+            )
+            if on_done is not None:
+                on_done(value)
+
+        self.machine.caches[core].load(address, done)
+
+    def rmw(self, core: int, address: int,
+            on_done: Optional[Callable[[int], None]] = None) -> None:
+        issued = self.machine.sim.now
+
+        def done(old: int) -> None:
+            now = self.machine.sim.now
+            # An atomic is a read of `old` plus a write of `old + 1`.
+            self._reads.setdefault(address, []).append(
+                ReadEvent(core, old, issued, now)
+            )
+            self._writes.setdefault(address, []).append(
+                WriteEvent(core, old + 1, issued, now)
+            )
+            if on_done is not None:
+                on_done(old)
+
+        self.machine.caches[core].rmw(address, done)
+
+    # ---------------------------------------------------------- validation
+
+    def validate(self) -> List[Violation]:
+        """Check every recorded word for per-location coherence.
+
+        Conditions verified per address:
+
+        1. **Value provenance** — every read returns 0 (initial) or the
+           value of some write to that address.
+        2. **No stale-past reads** — a read that *issued* after a write
+           completed, with no other write to the word in between, must not
+           return a value older than that write.
+        """
+        violations: List[Violation] = []
+        for address, reads in self._reads.items():
+            writes = sorted(
+                self._writes.get(address, []), key=lambda w: w.completed
+            )
+            legal_values = {w.value for w in writes} | {0}
+            write_values_in_order = [w.value for w in writes]
+            for read in reads:
+                if read.value not in legal_values:
+                    violations.append(
+                        Violation(
+                            address,
+                            f"read {read.value} never written "
+                            f"(core {read.core} @ {read.completed})",
+                        )
+                    )
+                    continue
+                # Find writes that were definitely *globally visible* before
+                # the read was even issued; the read must not predate them.
+                lag = self.visibility_lag
+                completed_before = [
+                    w for w in writes if w.completed + lag < read.issued
+                ]
+                if not completed_before:
+                    continue
+                last_sure = completed_before[-1]
+                if read.value == 0 and write_values_in_order:
+                    violations.append(
+                        Violation(
+                            address,
+                            f"core {read.core} read initial value after "
+                            f"write {last_sure.value} completed",
+                        )
+                    )
+                    continue
+                if read.value in write_values_in_order:
+                    read_pos = _last_index(write_values_in_order, read.value)
+                    sure_pos = _last_index(
+                        write_values_in_order, last_sure.value
+                    )
+                    # Concurrent writes (overlapping the read) may legally
+                    # be observed in either order; only flag reads of
+                    # values strictly older than a write that completed
+                    # before the read began AND whose successor writes all
+                    # also completed before the read began.
+                    if read_pos < sure_pos and all(
+                        w.completed + lag < read.issued
+                        for w in writes[read_pos + 1 : sure_pos + 1]
+                    ):
+                        violations.append(
+                            Violation(
+                                address,
+                                f"core {read.core} read stale {read.value} "
+                                f"after {last_sure.value} completed",
+                            )
+                        )
+        return violations
+
+
+def _last_index(values: List[int], value: int) -> int:
+    for index in range(len(values) - 1, -1, -1):
+        if values[index] == value:
+            return index
+    raise ValueError(value)

@@ -1,0 +1,168 @@
+"""Directory entry and the set-associative directory/LLC array.
+
+One :class:`DirectoryEntry` per LLC-resident line holds everything the home
+node knows: the directory state, the Dir_i_B sharer pointers (with broadcast
+bit), the WiDir ``SharerCount``, the LLC data words, and the bookkeeping of
+an in-flight transaction (busy flag, deferred requests, pending acks).
+
+The entry structure mirrors the paper's Figure 3: when a line is in W the
+sharer-pointer field is *reinterpreted* as a count of sharers (``log2 N``
+bits suffice); the broadcast bit is always zero in W.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Iterator, List, Optional, Set
+
+from repro.coherence.states import DIR_INVALID
+from repro.engine.errors import SimulationError
+
+
+class DirectoryEntry:
+    """Home-node record for one line resident in the LLC slice."""
+
+    __slots__ = (
+        "line",
+        "state",
+        "owner",
+        "sharers",
+        "broadcast",
+        "coarse_regions",
+        "sharer_count",
+        "data",
+        "has_data",
+        "dirty",
+        "busy",
+        "transaction",
+        "deferred",
+    )
+
+    def __init__(self, line: int) -> None:
+        self.line = line
+        self.state = DIR_INVALID
+        #: Exclusive owner tile id (state E), else None.
+        self.owner: Optional[int] = None
+        #: Precise sharer set while it fits the limited pointers.
+        self.sharers: Set[int] = set()
+        #: Dir_i_B overflow: pointer capacity exceeded, sharer set imprecise
+        #: (invalidations must be broadcast). Always False in W.
+        self.broadcast = False
+        #: Dir_i_CV_r overflow: region ids whose coarse bit is set (empty
+        #: when the pointers still suffice, or under the DirB scheme).
+        self.coarse_regions: Set[int] = set()
+        #: WiDir: number of wireless sharers (meaningful only in state W).
+        self.sharer_count = 0
+        #: LLC copy of the line (word index -> value).
+        self.data: Dict[int, int] = {}
+        #: The LLC holds a valid copy (False until the first memory fetch).
+        self.has_data = False
+        #: LLC copy differs from memory.
+        self.dirty = False
+        #: A transaction is in flight; new requests are deferred.
+        self.busy = False
+        #: Free-form per-transaction context owned by the controller.
+        self.transaction: Optional[dict] = None
+        #: Requests waiting for the entry to become idle.
+        self.deferred: Deque = deque()
+
+    def known_sharers(
+        self,
+        num_cores: int,
+        exclude: Optional[int] = None,
+        coarse_region_size: int = 4,
+    ) -> List[int]:
+        """Destinations an invalidation must reach.
+
+        Precise sharer pointers while they last; on overflow, either every
+        core (Dir_i_B broadcast bit) or every core of the marked coarse
+        regions (Dir_i_CV_r).
+        """
+        if self.broadcast:
+            targets = range(num_cores)
+        elif self.coarse_regions:
+            targets = [
+                core
+                for region in sorted(self.coarse_regions)
+                for core in range(
+                    region * coarse_region_size,
+                    min(num_cores, (region + 1) * coarse_region_size),
+                )
+            ]
+        else:
+            targets = self.sharers
+        return [t for t in targets if t != exclude]
+
+    def clear_imprecision(self) -> None:
+        """Reset overflow tracking (entry leaves the Shared state)."""
+        self.broadcast = False
+        self.coarse_regions.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DirectoryEntry(0x{self.line:x}, {self.state}, owner={self.owner}, "
+            f"sharers={sorted(self.sharers)}, bcast={self.broadcast}, "
+            f"count={self.sharer_count}, busy={self.busy})"
+        )
+
+
+class DirectoryArray:
+    """Set-associative array of :class:`DirectoryEntry` with LRU replacement.
+
+    Busy entries are pinned: they are skipped when choosing a victim, since
+    dropping an entry mid-transaction would orphan its acks.
+    """
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        if num_sets <= 0 or num_sets & (num_sets - 1):
+            raise SimulationError(f"num_sets must be a power of two, got {num_sets}")
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self._sets: List[OrderedDict[int, DirectoryEntry]] = [
+            OrderedDict() for _ in range(num_sets)
+        ]
+
+    def _set_of(self, line: int) -> OrderedDict:
+        return self._sets[line & (self.num_sets - 1)]
+
+    def lookup(self, line: int, touch: bool = True) -> Optional[DirectoryEntry]:
+        cache_set = self._set_of(line)
+        entry = cache_set.get(line)
+        if entry is not None and touch:
+            cache_set.move_to_end(line)
+        return entry
+
+    def needs_victim(self, line: int) -> bool:
+        cache_set = self._set_of(line)
+        return line not in cache_set and len(cache_set) >= self.associativity
+
+    def victim_for(self, line: int) -> Optional[DirectoryEntry]:
+        """LRU non-busy entry to evict before ``line`` can be installed."""
+        if not self.needs_victim(line):
+            return None
+        for candidate in self._set_of(line).values():
+            if not candidate.busy:
+                return candidate
+        return None  # every way busy; the caller retries later
+
+    def insert(self, line: int) -> DirectoryEntry:
+        cache_set = self._set_of(line)
+        if line in cache_set:
+            raise SimulationError(f"directory entry for 0x{line:x} already present")
+        if len(cache_set) >= self.associativity:
+            raise SimulationError(
+                f"directory set full for 0x{line:x}; evict before insert"
+            )
+        entry = DirectoryEntry(line)
+        cache_set[line] = entry
+        return entry
+
+    def remove(self, line: int) -> DirectoryEntry:
+        entry = self._set_of(line).pop(line, None)
+        if entry is None:
+            raise SimulationError(f"directory entry for 0x{line:x} not present")
+        return entry
+
+    def entries(self) -> Iterator[DirectoryEntry]:
+        for cache_set in self._sets:
+            yield from cache_set.values()

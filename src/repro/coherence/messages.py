@@ -1,0 +1,58 @@
+"""Wired protocol message kinds.
+
+Grouped by who sends them and whether a busy directory entry must accept
+them immediately (transaction-completing) or may defer them (new requests).
+"""
+
+# --- cache -> directory requests (deferrable at a busy entry) ---
+GETS = "GetS"          # read miss
+GETX = "GetX"          # write miss / upgrade; payload["is_sharer"] set on upgrade
+
+# --- cache -> directory notifications (must be accepted while busy) ---
+PUTS = "PutS"          # eviction of a Shared line (fire and forget)
+PUTM = "PutM"          # eviction of an E/M line; payload: data, dirty
+PUTW = "PutW"          # eviction / self-invalidation of a Wireless line
+WIR_UPGR_ACK = "WirUpgrAck"    # ack for a WirUpgr join (W state)
+WIR_DWGR_ACK = "WirDwgrAck"    # ack for WirDwgr; payload: core id
+INV_ACK = "InvAck"     # invalidation acknowledgment
+INV_ACK_DATA = "InvAckData"    # invalidation ack carrying data (dir recall of E/M)
+WB_DATA = "WBData"     # owner's data writeback closing a FwdGetS
+FWD_ACK = "FwdAck"     # owner's ack closing a FwdGetX
+
+# --- directory -> cache ---
+DATA = "Data"          # line data, Shared grant; payload: data
+DATA_E = "DataE"       # line data, Exclusive grant; payload: data
+GRANT_X = "GrantX"     # upgrade grant without data (requester still a sharer)
+FWD_GETS = "FwdGetS"   # forward a read to the exclusive owner
+FWD_GETX = "FwdGetX"   # forward a write to the exclusive owner
+INV = "Inv"            # invalidate; payload["needs_data"] on a dir recall
+PUT_ACK = "PutAck"     # closes a PutM/PutE eviction transaction
+WIR_UPGR = "WirUpgr"   # line data + "this line is now Wireless"; payload:
+                       #   data, ack_required (False for the S->W trigger)
+
+# --- cache -> cache (three-hop forwards) ---
+FWD_DATA = "FwdData"   # owner-supplied data for a forwarded request
+
+#: Kinds a busy directory entry must process immediately; everything else
+#: waits in the entry's deferred queue until the transaction completes.
+#: PutM is *not* here: it needs a PutAck response and a state change, and
+#: deferring it is deadlock-free because the evicting cache keeps serving
+#: forwards from its eviction buffer while it waits.
+COMPLETION_KINDS = frozenset(
+    {
+        PUTS,
+        PUTW,
+        WIR_UPGR_ACK,
+        WIR_DWGR_ACK,
+        INV_ACK,
+        INV_ACK_DATA,
+        WB_DATA,
+        FWD_ACK,
+    }
+)
+
+# Wireless frame kinds (data channel).
+WIR_UPD = "WirUpd"          # fine-grained word update from a W sharer
+BR_WIR_UPGR = "BrWirUpgr"   # directory announces S -> W
+WIR_DWGR = "WirDwgr"        # directory announces W -> S
+WIR_INV = "WirInv"          # directory evicts a wirelessly shared line

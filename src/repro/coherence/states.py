@@ -1,0 +1,25 @@
+"""Coherence state names.
+
+Private-cache states are the four MESI states plus the paper's Wireless (W)
+state. Directory states mirror them from the home node's point of view:
+``E`` covers "exclusive at one owner, possibly modified" since a silent
+E->M upgrade is invisible to the directory.
+"""
+
+# Private (L1) cache states.
+MODIFIED = "M"
+EXCLUSIVE = "E"
+SHARED = "S"
+INVALID = "I"
+WIRELESS = "W"
+
+#: States in which the local cache may satisfy a load.
+READABLE_STATES = frozenset({MODIFIED, EXCLUSIVE, SHARED, WIRELESS})
+#: States in which the local cache may satisfy a store without a transaction.
+WRITABLE_STATES = frozenset({MODIFIED, EXCLUSIVE})
+
+# Directory states.
+DIR_INVALID = "I"
+DIR_SHARED = "S"
+DIR_EXCLUSIVE = "E"
+DIR_WIRELESS = "W"

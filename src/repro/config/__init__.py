@@ -1,0 +1,31 @@
+"""System configuration.
+
+:class:`SystemConfig` and its nested dataclasses mirror the paper's Table III
+(architecture modeled). :mod:`repro.config.presets` provides the named
+configurations used throughout the evaluation (64/32/16/8/4-core Baseline and
+WiDir machines).
+"""
+
+from repro.config.system import (
+    CacheConfig,
+    CoreConfig,
+    DirectoryConfig,
+    MemoryConfig,
+    NocConfig,
+    SystemConfig,
+    WirelessConfig,
+)
+from repro.config.presets import baseline_config, paper_config, widir_config
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "DirectoryConfig",
+    "MemoryConfig",
+    "NocConfig",
+    "SystemConfig",
+    "WirelessConfig",
+    "baseline_config",
+    "paper_config",
+    "widir_config",
+]

@@ -1,0 +1,40 @@
+"""Named machine configurations used by the evaluation.
+
+``paper_config`` reproduces Table III exactly (modulo the documented
+substitutions); the helpers derive Baseline / WiDir variants and scaled-down
+machines for the 4-to-64-core scalability study (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config.system import DirectoryConfig, SystemConfig
+
+
+def paper_config(num_cores: int = 64, protocol: str = "widir", seed: int = 42) -> SystemConfig:
+    """The paper's Table III machine at the given core count and protocol."""
+    config = SystemConfig(num_cores=num_cores, protocol=protocol, seed=seed)
+    config.validate()
+    return config
+
+
+def baseline_config(num_cores: int = 64, seed: int = 42) -> SystemConfig:
+    """MESI Dir_3_B machine without wireless support."""
+    return paper_config(num_cores=num_cores, protocol="baseline", seed=seed)
+
+
+def widir_config(
+    num_cores: int = 64, max_wired_sharers: int = 3, seed: int = 42
+) -> SystemConfig:
+    """WiDir machine; ``max_wired_sharers`` is the Table VI sensitivity knob."""
+    config = paper_config(num_cores=num_cores, protocol="widir", seed=seed)
+    if max_wired_sharers != config.directory.max_wired_sharers:
+        directory = DirectoryConfig(
+            num_pointers=max(config.directory.num_pointers, max_wired_sharers),
+            max_wired_sharers=max_wired_sharers,
+            update_count_threshold=config.directory.update_count_threshold,
+        )
+        config = replace(config, directory=directory)
+        config.validate()
+    return config

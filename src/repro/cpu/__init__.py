@@ -1,0 +1,32 @@
+"""Trace-driven core models.
+
+A :class:`~repro.cpu.core.Core` consumes a per-core operation trace
+(:mod:`repro.cpu.trace`) and drives its tile's cache controller, modelling
+the out-of-order structures of Table III at the occupancy level: bounded
+memory-level parallelism for loads, a store/write buffer, blocking atomics,
+and memory-stall attribution (the quantity behind the paper's Figures 7/8).
+:class:`~repro.cpu.sync.PhaseBarrier` aligns cores at program phases.
+"""
+
+from repro.cpu.core import Core, CoreResult
+from repro.cpu.sync import PhaseBarrier
+from repro.cpu.trace import (
+    OP_BARRIER,
+    OP_LOAD,
+    OP_RMW,
+    OP_STORE,
+    OP_THINK,
+    TraceOp,
+)
+
+__all__ = [
+    "Core",
+    "CoreResult",
+    "OP_BARRIER",
+    "OP_LOAD",
+    "OP_RMW",
+    "OP_STORE",
+    "OP_THINK",
+    "PhaseBarrier",
+    "TraceOp",
+]

@@ -1,0 +1,279 @@
+"""The trace-driven core model.
+
+The model reproduces the *occupancy* behaviour of the paper's out-of-order
+core (Table III) without simulating a pipeline:
+
+* non-memory instructions retire at ``issue_width`` per cycle;
+* loads issue asynchronously up to ``max_outstanding_misses`` in flight
+  (memory-level parallelism); a *blocking* load additionally stalls the core
+  until its own data returns, modelling a use-dependent consumer nearby;
+* stores retire into the write buffer and drain concurrently; the core only
+  stalls when the buffer is full;
+* atomics (RMW) drain the write buffer and outstanding loads first, then
+  block — the consistency-model behaviour the paper's wireless RMW respects;
+* barriers align all cores via a :class:`~repro.cpu.sync.PhaseBarrier`.
+
+Every cycle the core spends blocked on any of the above is attributed to
+``memory_stall_cycles`` (barrier waits go to ``sync_stall_cycles``), which is
+exactly the decomposition behind the paper's Figure 8 bars. Per-operation
+latencies (issue to completion) feed Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.config.system import SystemConfig
+from repro.cpu.sync import PhaseBarrier
+from repro.cpu.trace import OP_BARRIER, OP_LOAD, OP_RMW, OP_STORE, OP_THINK, TraceOp
+from repro.engine.simulator import Simulator
+from repro.stats.collectors import LatencyStat, StatsRegistry
+
+
+class CoreResult:
+    """Summary of one core's execution of its trace."""
+
+    __slots__ = (
+        "node",
+        "finish_cycle",
+        "instructions",
+        "memory_stall_cycles",
+        "sync_stall_cycles",
+        "load_latency",
+        "store_latency",
+    )
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self.finish_cycle = 0
+        self.instructions = 0
+        self.memory_stall_cycles = 0
+        self.sync_stall_cycles = 0
+        self.load_latency = LatencyStat(f"core{node}.load_latency")
+        self.store_latency = LatencyStat(f"core{node}.store_latency")
+
+    @property
+    def total_memory_latency(self) -> int:
+        return self.load_latency.total + self.store_latency.total
+
+
+class Core:
+    """Executes one trace against one tile's cache controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: int,
+        cache,
+        config: SystemConfig,
+        stats: StatsRegistry,
+        barrier: Optional[PhaseBarrier] = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.cache = cache
+        self.config = config
+        self.barrier = barrier
+        self.result = CoreResult(node)
+        self._issue_width = config.core.issue_width
+        self._max_loads = config.core.max_outstanding_misses
+        self._wb_capacity = config.core.write_buffer_entries
+        self._trace: List[TraceOp] = []
+        self._pc = 0
+        self._outstanding_loads = 0
+        self._wb_occupancy = 0
+        self._stall_started: Optional[int] = None
+        self._stall_bucket: Optional[str] = None
+        self._stall_grace = 0
+        self._wakeup: Optional[Callable[[], bool]] = None
+        self._on_finish: Optional[Callable[["Core"], None]] = None
+        self._finished = False
+        self._instr = stats.counter(f"core.{node}.instructions")
+        self._instr_total = stats.counter("core.total.instructions")
+
+    # --------------------------------------------------------------- control
+
+    def run_trace(self, trace: List[TraceOp], on_finish=None) -> None:
+        """Begin executing ``trace``; ``on_finish(core)`` fires at completion."""
+        self._trace = trace
+        self._pc = 0
+        self._finished = False
+        self._on_finish = on_finish
+        self.sim.schedule(0, self._step)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    # ------------------------------------------------------------ execution
+
+    def _step(self) -> None:
+        """Advance through trace ops until blocked or done."""
+        while self._pc < len(self._trace):
+            op = self._trace[self._pc]
+            kind = op.kind
+            if kind == OP_THINK:
+                self._pc += 1
+                self._count_instructions(op.arg)
+                cycles = max(1, -(-op.arg // self._issue_width))
+                self.sim.schedule(cycles, self._step)
+                return
+            if kind == OP_LOAD:
+                if not self._issue_load(op):
+                    return
+                continue
+            if kind == OP_STORE:
+                if not self._issue_store(op):
+                    return
+                continue
+            if kind == OP_RMW:
+                if not self._issue_rmw(op):
+                    return
+                continue
+            if kind == OP_BARRIER:
+                if not self._issue_barrier(op):
+                    return
+                continue
+        # Trace drained: the core retires once all memory traffic lands.
+        if self._outstanding_loads or self._wb_occupancy:
+            self._block("memory", self._no_outstanding)
+            return
+        self._finish()
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self.result.finish_cycle = self.sim.now
+        if self._on_finish is not None:
+            self._on_finish(self)
+
+    def _count_instructions(self, count: int) -> None:
+        self.result.instructions += count
+        self._instr.add(count)
+        self._instr_total.add(count)
+
+    # --------------------------------------------------------------- stalls
+
+    def _block(
+        self, bucket: str, can_continue: Callable[[], bool], grace: int = 0
+    ) -> None:
+        """Park the core until ``can_continue()``; charge the wait to bucket.
+
+        ``grace`` cycles of the wait are considered hidden by the pipeline
+        (an L1 hit under a use-dependent load does not stall a real OoO
+        core) and are not charged as stall.
+        """
+        self._stall_started = self.sim.now
+        self._stall_bucket = bucket
+        self._stall_grace = grace
+        self._wakeup = can_continue
+
+    def _maybe_wake(self) -> None:
+        if self._wakeup is None or not self._wakeup():
+            return
+        started = self._stall_started if self._stall_started is not None else self.sim.now
+        waited = self.sim.now - started
+        waited = max(0, waited - self._stall_grace)
+        if self._stall_bucket == "sync":
+            self.result.sync_stall_cycles += waited
+        else:
+            self.result.memory_stall_cycles += waited
+        self._wakeup = None
+        self._stall_started = None
+        self._stall_bucket = None
+        self._stall_grace = 0
+        self._step()
+
+    def _no_outstanding(self) -> bool:
+        return self._outstanding_loads == 0 and self._wb_occupancy == 0
+
+    # ------------------------------------------------------------- load path
+
+    def _issue_load(self, op: TraceOp) -> bool:
+        if self._outstanding_loads >= self._max_loads:
+            self._block("memory", lambda: self._outstanding_loads < self._max_loads)
+            return False
+        self._pc += 1
+        self._count_instructions(1)
+        self._outstanding_loads += 1
+        issued = self.sim.now
+        completed = {"done": False}
+
+        def on_done(_value: int) -> None:
+            completed["done"] = True
+            self._outstanding_loads -= 1
+            self.result.load_latency.record(self.sim.now - issued)
+            self._maybe_wake()
+
+        self.cache.load(op.address, on_done)
+        if op.blocking and not completed["done"]:
+            grace = self.config.l1.round_trip_cycles
+            self._block("memory", lambda: completed["done"], grace=grace)
+            return False
+        return True
+
+    # ------------------------------------------------------------ store path
+
+    def _issue_store(self, op: TraceOp) -> bool:
+        if self._wb_occupancy >= self._wb_capacity:
+            self._block("memory", lambda: self._wb_occupancy < self._wb_capacity)
+            return False
+        self._pc += 1
+        self._count_instructions(1)
+        self._wb_occupancy += 1
+        issued = self.sim.now
+
+        def on_done() -> None:
+            self._wb_occupancy -= 1
+            self.result.store_latency.record(self.sim.now - issued)
+            self._maybe_wake()
+
+        self.cache.store(op.address, op.value, on_done)
+        return True
+
+    # -------------------------------------------------------------- RMW path
+
+    def _issue_rmw(self, op: TraceOp) -> bool:
+        # Atomic: per the consistency model the RMW executes only once older
+        # memory operations have drained, and younger ones wait for it.
+        if not self._no_outstanding():
+            self._block("memory", self._no_outstanding)
+            return False
+        self._pc += 1
+        self._count_instructions(1)
+        issued = self.sim.now
+        completed = {"done": False}
+
+        def on_done(_old: int) -> None:
+            completed["done"] = True
+            self.result.store_latency.record(self.sim.now - issued)
+            self._maybe_wake()
+
+        self.cache.rmw(op.address, on_done)
+        if not completed["done"]:
+            self._block("memory", lambda: completed["done"])
+            return False
+        return True
+
+    # ---------------------------------------------------------- barrier path
+
+    def _issue_barrier(self, op: TraceOp) -> bool:
+        if self.barrier is None:
+            self._pc += 1
+            return True
+        if not self._no_outstanding():
+            self._block("memory", self._no_outstanding)
+            return False
+        self._pc += 1
+        released = {"done": False}
+
+        def on_release() -> None:
+            released["done"] = True
+            self._maybe_wake()
+
+        self.barrier.arrive(op.arg, on_release)
+        if not released["done"]:
+            self._block("sync", lambda: released["done"])
+            return False
+        return True

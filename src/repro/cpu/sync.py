@@ -1,0 +1,33 @@
+"""Cross-core phase alignment.
+
+Real SPLASH/PARSEC phases are aligned by memory-based barriers; the workload
+generators emit that memory traffic (RMW on a barrier word plus spin loads),
+but a trace cannot adaptively spin. :class:`PhaseBarrier` provides the
+control-flow half: a core reaching a barrier op waits until every core has
+arrived, and the wait is charged to its synchronization-stall bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+
+class PhaseBarrier:
+    """Reusable count-based barrier over ``num_cores`` participants."""
+
+    def __init__(self, num_cores: int) -> None:
+        self.num_cores = num_cores
+        self._arrived: Dict[int, List[Callable[[], None]]] = {}
+
+    def arrive(self, phase: int, on_release: Callable[[], None]) -> None:
+        """Register arrival at ``phase``; ``on_release`` fires at the last one."""
+        waiters = self._arrived.setdefault(phase, [])
+        waiters.append(on_release)
+        if len(waiters) == self.num_cores:
+            del self._arrived[phase]
+            for waiter in waiters:
+                waiter()
+
+    def pending(self, phase: int) -> int:
+        """How many cores are currently parked at ``phase``."""
+        return len(self._arrived.get(phase, ()))

@@ -1,0 +1,80 @@
+"""Trace operation format shared by the workload generators and the cores.
+
+A trace is a plain list of :class:`TraceOp`. Keeping it a flat value type
+(rather than callbacks) lets the generators be tested in isolation and lets
+one trace drive both the Baseline and the WiDir machine, which is what makes
+normalized comparisons meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+OP_THINK = "think"      # arg: non-memory instruction count
+OP_LOAD = "load"        # address; ``blocking`` marks use-dependent loads
+OP_STORE = "store"      # address + value
+OP_RMW = "rmw"          # address (atomic fetch-and-increment)
+OP_BARRIER = "barrier"  # arg: phase id (cross-core alignment point)
+
+_VALID_KINDS = frozenset({OP_THINK, OP_LOAD, OP_STORE, OP_RMW, OP_BARRIER})
+
+
+class TraceOp:
+    """One operation in a core's instruction trace."""
+
+    __slots__ = ("kind", "address", "value", "arg", "blocking")
+
+    def __init__(
+        self,
+        kind: str,
+        address: int = 0,
+        value: int = 0,
+        arg: int = 0,
+        blocking: bool = True,
+    ) -> None:
+        if kind not in _VALID_KINDS:
+            raise ValueError(f"unknown trace op kind {kind!r}")
+        self.kind = kind
+        self.address = address
+        self.value = value
+        self.arg = arg
+        self.blocking = blocking
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.kind == OP_THINK:
+            return f"TraceOp(think {self.arg})"
+        if self.kind == OP_BARRIER:
+            return f"TraceOp(barrier {self.arg})"
+        return f"TraceOp({self.kind} 0x{self.address:x})"
+
+
+def think(instructions: int) -> TraceOp:
+    """Convenience constructor for a non-memory instruction burst."""
+    return TraceOp(OP_THINK, arg=instructions)
+
+
+def load(address: int, blocking: bool = True) -> TraceOp:
+    return TraceOp(OP_LOAD, address=address, blocking=blocking)
+
+
+def store(address: int, value: int = 0) -> TraceOp:
+    return TraceOp(OP_STORE, address=address, value=value)
+
+
+def rmw(address: int) -> TraceOp:
+    return TraceOp(OP_RMW, address=address)
+
+
+def barrier(phase: int) -> TraceOp:
+    return TraceOp(OP_BARRIER, arg=phase)
+
+
+def count_instructions(trace) -> int:
+    """Total instructions a trace represents (memory ops count as one)."""
+    total = 0
+    for op in trace:
+        if op.kind == OP_THINK:
+            total += op.arg
+        elif op.kind != OP_BARRIER:
+            total += 1
+    return total

@@ -1,0 +1,13 @@
+"""Energy accounting.
+
+First-order event-based energy model in the spirit of the paper's
+McPAT / CACTI / DSENT composition: component energy = (event counts from the
+run's :class:`~repro.stats.collectors.StatsRegistry`) x (per-event energies
+in :class:`~repro.energy.models.EnergyModel`) + static power x runtime. The
+wireless components use the paper's Table III numbers directly (39.4 mW
+transmit/receive, 26.9 mW power-gated idle).
+"""
+
+from repro.energy.models import EnergyBreakdown, EnergyModel
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]

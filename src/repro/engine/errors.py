@@ -1,0 +1,26 @@
+"""Exception hierarchy for the simulator.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library may raise with a single ``except`` clause while
+still being able to distinguish configuration mistakes from protocol bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly (e.g. scheduling in the past)."""
+
+
+class ProtocolError(ReproError):
+    """A coherence-protocol invariant was violated.
+
+    This always indicates a bug in a controller state machine (or a test
+    deliberately driving one into an illegal state), never a user error.
+    """

@@ -1,0 +1,81 @@
+"""Cycle-resolution event queue.
+
+Events are ``(time, sequence, callback)`` triples kept in a binary heap.
+The monotonically increasing sequence number makes ordering *total* and
+therefore deterministic: two events scheduled for the same cycle always fire
+in the order they were scheduled, regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.engine.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback; supports O(1) cancellation via a tombstone flag."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; it is skipped (not executed) when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def schedule(self, time: int, callback: Callable[[], None]) -> Event:
+        """Enqueue ``callback`` to run at absolute cycle ``time``."""
+        event = Event(time, self._seq, callback)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[int]:
+        """Return the cycle of the next live event, or None if empty."""
+        self._drop_dead()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the next live event."""
+        self._drop_dead()
+        if not self._heap:
+            raise SimulationError("pop() on an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def _drop_dead(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._live -= 1

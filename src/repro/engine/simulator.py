@@ -1,0 +1,91 @@
+"""The simulation kernel: a clock plus an event queue.
+
+Every hardware structure in the library is modelled as plain Python objects
+that react to callbacks scheduled here. Time is an integer cycle count at the
+core clock (1 GHz in the paper's Table III, so 1 cycle == 1 ns, which is also
+how the wireless channel latencies are expressed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.engine.errors import SimulationError
+from repro.engine.events import Event, EventQueue
+from repro.engine.rng import DeterministicRng
+
+
+class Simulator:
+    """Owns the clock, the event queue, and the root RNG.
+
+    Parameters
+    ----------
+    seed:
+        Root seed from which all component RNG streams are split.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.queue = EventQueue()
+        self.now = 0
+        self.rng = DeterministicRng(seed)
+        self._events_executed = 0
+        self._stopped = False
+
+    @property
+    def events_executed(self) -> int:
+        """Total callbacks run so far (a cheap progress / cost metric)."""
+        return self._events_executed
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` ``delay`` cycles from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.queue.schedule(self.now + delay, callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute cycle ``time`` (time >= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at cycle {time}, already at cycle {self.now}"
+            )
+        return self.queue.schedule(time, callback)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return before the next event."""
+        self._stopped = True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue; return the final cycle.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event lies strictly beyond this cycle. The
+            clock is left at ``until`` in that case.
+        max_events:
+            Safety valve for tests: raise :class:`SimulationError` if more
+            than this many events execute in this call (a runaway protocol
+            loop otherwise spins forever).
+        """
+        executed_here = 0
+        self._stopped = False
+        while True:
+            if self._stopped:
+                break
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            event = self.queue.pop()
+            self.now = event.time
+            event.callback()
+            self._events_executed += 1
+            executed_here += 1
+            if max_events is not None and executed_here > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; "
+                    "likely a livelocked protocol transaction"
+                )
+        return self.now

@@ -1,0 +1,54 @@
+"""Experiment harness.
+
+:mod:`~repro.harness.runner` executes one (application, machine) pair and
+returns a :class:`~repro.harness.runner.SimulationResult` with every metric
+the paper reports. :mod:`~repro.harness.figures` builds each table/figure of
+the evaluation section from those results, and
+:mod:`~repro.harness.motivation` reproduces the Section II-C measurement
+that motivates the design.
+"""
+
+from repro.harness.runner import SimulationResult, run_app, run_pair
+from repro.harness.report_gen import generate_report
+from repro.harness.results_io import load_results, save_results
+from repro.harness.sweeps import (
+    sweep_core_counts,
+    sweep_protocols,
+    sweep_thresholds,
+)
+from repro.harness.validate import validate_result
+from repro.harness.figures import (
+    figure10_scalability,
+    figure5_sharer_histogram,
+    figure6_mpki,
+    figure7_memory_latency,
+    figure8_execution_time,
+    figure9_energy,
+    table4_mpki_characterization,
+    table5_hop_distribution,
+    table6_sensitivity,
+)
+from repro.harness.motivation import section2c_sharing_probe
+
+__all__ = [
+    "SimulationResult",
+    "generate_report",
+    "load_results",
+    "save_results",
+    "sweep_core_counts",
+    "sweep_protocols",
+    "sweep_thresholds",
+    "validate_result",
+    "figure10_scalability",
+    "figure5_sharer_histogram",
+    "figure6_mpki",
+    "figure7_memory_latency",
+    "figure8_execution_time",
+    "figure9_energy",
+    "run_app",
+    "run_pair",
+    "section2c_sharing_probe",
+    "table4_mpki_characterization",
+    "table5_hop_distribution",
+    "table6_sensitivity",
+]

@@ -1,0 +1,57 @@
+"""Post-mortem diagnostics for stuck simulations.
+
+``dump_stuck_state`` prints everything needed to localize a protocol
+deadlock: unfinished cores with their wait reasons, outstanding MSHRs and
+eviction buffers, busy directory entries with their transaction context and
+deferred queues, the wireless channel's pending frames and jam set, and any
+in-flight ToneAck operations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def dump_stuck_state(machine, cores: Iterable = ()) -> List[str]:
+    """Return (and print) a human-readable deadlock report."""
+    lines: List[str] = [f"--- stuck state at cycle {machine.sim.now} ---"]
+    for core in cores:
+        if getattr(core, "finished", True):
+            continue
+        cache = machine.caches[core.node]
+        lines.append(
+            f"core {core.node}: wait={core._stall_bucket} "
+            f"outstanding_loads={core._outstanding_loads} "
+            f"write_buffer={core._wb_occupancy} "
+            f"mshrs={[hex(l) for l in cache.mshrs.outstanding_lines()]} "
+            f"evicting={[hex(l) for l in cache._evicting]} "
+            f"pending_wireless={[hex(l) for l in cache._pending_wireless]} "
+            f"rmw={[hex(l) for l in cache._rmw_watch]}"
+        )
+    for directory in machine.directories:
+        for entry in directory.array.entries():
+            if entry.busy:
+                deferred = [(m.kind, m.src) for m in entry.deferred]
+                lines.append(
+                    f"dir {directory.node}: {entry} "
+                    f"txn={entry.transaction} deferred={deferred}"
+                )
+    if machine.wireless is not None:
+        channel = machine.wireless
+        pending = [
+            (r.frame.kind, r.frame.src, hex(r.frame.line), r.ready_time, r.failures)
+            for r in channel._pending
+        ]
+        lines.append(
+            f"wnoc: pending={pending} busy_until={channel._busy_until} "
+            f"jammed={[hex(l) for l in channel._jammed_lines]}"
+        )
+    if machine.tone is not None:
+        ops = {
+            hex(key): sorted(op.remaining)
+            for key, op in machine.tone._operations.items()
+        }
+        lines.append(f"tone ops: {ops}")
+    report = "\n".join(lines)
+    print(report)
+    return lines

@@ -1,0 +1,376 @@
+"""Per-figure / per-table experiment functions.
+
+Each function regenerates one artifact of the paper's evaluation section and
+returns a structured result plus a rendered text table (``.text``) printing
+the same rows/series the paper plots. The benchmark suite under
+``benchmarks/`` calls exactly these functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config.presets import baseline_config, widir_config
+from repro.harness.runner import SimulationResult, run_app, run_pair
+from repro.stats.report import format_table
+from repro.workloads.profiles import ALL_APPS
+
+#: Modest default app subset for quick runs; pass apps=ALL_APPS for the
+#: full paper set.
+DEFAULT_APPS: Tuple[str, ...] = ALL_APPS
+
+
+class FigureResult:
+    """A computed figure: structured rows plus a rendered table."""
+
+    def __init__(self, name: str, headers: Sequence[str], rows: List[Sequence], text: str):
+        self.name = name
+        self.headers = list(headers)
+        self.rows = rows
+        self.text = text
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def _apps_or_default(apps: Optional[Iterable[str]]) -> Tuple[str, ...]:
+    return tuple(apps) if apps is not None else DEFAULT_APPS
+
+
+def _geomean(values: List[float]) -> float:
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    product = 1.0
+    for value in positives:
+        product *= value
+    return product ** (1.0 / len(positives))
+
+
+# --------------------------------------------------------------- Table IV
+
+def table4_mpki_characterization(
+    apps: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    memops: Optional[int] = None,
+) -> FigureResult:
+    """Table IV: per-application Baseline L1 MPKI."""
+    rows = []
+    for app in _apps_or_default(apps):
+        result = run_app(app, baseline_config(num_cores=num_cores), memops)
+        rows.append([app, result.mpki])
+    text = format_table(
+        ["app", "baseline MPKI"], rows, title="Table IV: L1 MPKI in Baseline"
+    )
+    return FigureResult("table4", ["app", "mpki"], rows, text)
+
+
+# --------------------------------------------------------------- Figure 5
+
+def figure5_sharer_histogram(
+    apps: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    memops: Optional[int] = None,
+) -> FigureResult:
+    """Figure 5: sharers updated per wireless write, binned."""
+    bins = ["0-5", "6-10", "11-25", "26-49", "50+"]
+    rows = []
+    for app in _apps_or_default(apps):
+        result = run_app(app, widir_config(num_cores=num_cores), memops)
+        total = sum(result.sharer_histogram.values())
+        fractions = [
+            (result.sharer_histogram.get(b, 0) / total if total else 0.0)
+            for b in bins
+        ]
+        rows.append([app] + fractions)
+    text = format_table(
+        ["app"] + [f"{b} sharers" for b in bins],
+        rows,
+        title="Figure 5: sharers updated per wireless write (fraction of writes)",
+    )
+    return FigureResult("fig5", ["app"] + bins, rows, text)
+
+
+# --------------------------------------------------------------- Figure 6
+
+def figure6_mpki(
+    apps: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    memops: Optional[int] = None,
+) -> FigureResult:
+    """Figure 6: MPKI of WiDir vs Baseline, read/write split, normalized."""
+    rows = []
+    ratios = []
+    for app in _apps_or_default(apps):
+        base, widir = run_pair(app, num_cores, memops)
+        reference = base.mpki or 1.0
+        ratio = widir.mpki / reference if base.mpki else 1.0
+        ratios.append(ratio)
+        rows.append(
+            [
+                app,
+                base.read_mpki / reference,
+                base.write_mpki / reference,
+                widir.read_mpki / reference,
+                widir.write_mpki / reference,
+                ratio,
+            ]
+        )
+    rows.append(["geomean", "", "", "", "", _geomean(ratios)])
+    text = format_table(
+        ["app", "base rd", "base wr", "widir rd", "widir wr", "widir/base"],
+        rows,
+        title="Figure 6: L1 MPKI normalized to Baseline",
+    )
+    return FigureResult("fig6", ["app", "ratio"], rows, text)
+
+
+# --------------------------------------------------------------- Figure 7
+
+def figure7_memory_latency(
+    apps: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    memops: Optional[int] = None,
+) -> FigureResult:
+    """Figure 7: total memory-operation latency, load/store split, normalized."""
+    rows = []
+    ratios = []
+    for app in _apps_or_default(apps):
+        base, widir = run_pair(app, num_cores, memops)
+        reference = base.total_memory_latency or 1
+        ratio = widir.total_memory_latency / reference
+        ratios.append(ratio)
+        rows.append(
+            [
+                app,
+                base.load_latency_total / reference,
+                base.store_latency_total / reference,
+                widir.load_latency_total / reference,
+                widir.store_latency_total / reference,
+                ratio,
+            ]
+        )
+    rows.append(["geomean", "", "", "", "", _geomean(ratios)])
+    text = format_table(
+        ["app", "base ld", "base st", "widir ld", "widir st", "widir/base"],
+        rows,
+        title="Figure 7: memory latency normalized to Baseline",
+    )
+    return FigureResult("fig7", ["app", "ratio"], rows, text)
+
+
+# ---------------------------------------------------------------- Table V
+
+def table5_hop_distribution(
+    apps: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    memops: Optional[int] = None,
+) -> FigureResult:
+    """Table V: wired hops per coherence leg in the 64-core Baseline."""
+    bins = ["0-2", "3-5", "6-8", "9-11", "12+"]
+    totals = {b: 0 for b in bins}
+    for app in _apps_or_default(apps):
+        result = run_app(app, baseline_config(num_cores=num_cores), memops)
+        for b in bins:
+            totals[b] += result.hop_histogram.get(b, 0)
+    grand = sum(totals.values()) or 1
+    rows = [[b, totals[b] / grand] for b in bins]
+    text = format_table(
+        ["hops per leg", "fraction of messages"],
+        rows,
+        title="Table V: wired-mesh hop distribution (Baseline, 64 cores)",
+    )
+    return FigureResult("table5", ["bin", "fraction"], rows, text)
+
+
+# --------------------------------------------------------------- Figure 8
+
+def figure8_execution_time(
+    apps: Optional[Iterable[str]] = None,
+    core_counts: Sequence[int] = (64, 32, 16),
+    memops: Optional[int] = None,
+) -> Dict[int, FigureResult]:
+    """Figure 8: normalized execution time with stall/rest breakdown."""
+    results: Dict[int, FigureResult] = {}
+    for cores in core_counts:
+        rows = []
+        ratios = []
+        for app in _apps_or_default(apps):
+            base, widir = run_pair(app, cores, memops)
+            reference = base.cycles or 1
+            ratio = widir.cycles / reference
+            ratios.append(ratio)
+            base_total = max(1, base.cycles * cores)
+            widir_total = max(1, widir.cycles * cores)
+            # Paper-style stacked bars, normalized to the Baseline bar:
+            # each protocol's bar = (memory-stall portion, rest portion).
+            base_stall = base.total_stall_cycles / base_total
+            widir_stall = ratio * (widir.total_stall_cycles / widir_total)
+            rows.append(
+                [
+                    app,
+                    base_stall,
+                    1.0 - base_stall,
+                    widir_stall,
+                    max(0.0, ratio - widir_stall),
+                    ratio,
+                ]
+            )
+        rows.append(["geomean", "", "", "", "", _geomean(ratios)])
+        text = format_table(
+            [
+                "app",
+                "base stall",
+                "base rest",
+                "widir stall",
+                "widir rest",
+                "widir/base",
+            ],
+            rows,
+            title=f"Figure 8 ({cores} cores): execution time normalized to Baseline",
+        )
+        results[cores] = FigureResult(f"fig8_{cores}", ["app", "ratio"], rows, text)
+    return results
+
+
+# --------------------------------------------------------------- Figure 9
+
+def figure9_energy(
+    apps: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    memops: Optional[int] = None,
+) -> FigureResult:
+    """Figure 9: energy by component, normalized to Baseline."""
+    rows = []
+    ratios = []
+    wnoc_shares = []
+    for app in _apps_or_default(apps):
+        base, widir = run_pair(app, num_cores, memops)
+        reference = base.energy.total or 1.0
+        ratio = widir.energy.total / reference
+        ratios.append(ratio)
+        wnoc_shares.append(
+            widir.energy.wnoc / widir.energy.total if widir.energy.total else 0.0
+        )
+        widir_shares = {
+            k: v / reference for k, v in widir.energy.as_dict().items()
+        }
+        base_shares = base.energy.shares()
+        rows.append(
+            [
+                app,
+                base_shares["core"],
+                base_shares["l1"],
+                base_shares["l2_dir"],
+                base_shares["noc"],
+                ratio,
+                widir_shares["wnoc"],
+            ]
+        )
+    rows.append(["geomean", "", "", "", "", _geomean(ratios), ""])
+    text = format_table(
+        ["app", "b.core", "b.l1", "b.l2+dir", "b.noc", "widir/base", "widir wnoc"],
+        rows,
+        title="Figure 9: energy normalized to Baseline",
+    )
+    result = FigureResult("fig9", ["app", "ratio"], rows, text)
+    result.mean_wnoc_share = (
+        sum(wnoc_shares) / len(wnoc_shares) if wnoc_shares else 0.0
+    )
+    return result
+
+
+# -------------------------------------------------------------- Figure 10
+
+def figure10_scalability(
+    apps: Optional[Iterable[str]] = None,
+    core_counts: Sequence[int] = (4, 8, 16, 32, 64),
+    memops: Optional[int] = None,
+) -> FigureResult:
+    """Figure 10: speedup vs the 4-core Baseline for both protocols.
+
+    Strong scaling, as in the paper: the *total* problem size is fixed, so
+    a machine with 2x the cores runs half the references per core.
+    """
+    from repro.harness.runner import DEFAULT_MEMOPS
+
+    apps = _apps_or_default(apps)
+    base_memops = memops if memops is not None else DEFAULT_MEMOPS
+    largest = max(core_counts)
+
+    def per_core_work(cores: int) -> int:
+        # Fixed total work: the largest machine runs ``base_memops`` per
+        # core; smaller machines run proportionally more per core.
+        return max(150, base_memops * largest // cores)
+
+    base_times: Dict[int, List[float]] = {c: [] for c in core_counts}
+    widir_times: Dict[int, List[float]] = {c: [] for c in core_counts}
+    reference: Dict[str, int] = {}
+    smallest = core_counts[0]
+    for app in apps:
+        base4 = run_app(
+            app, baseline_config(num_cores=smallest), per_core_work(smallest)
+        )
+        reference[app] = base4.cycles
+    for cores in core_counts:
+        for app in apps:
+            base, widir = run_pair(app, cores, per_core_work(cores))
+            base_times[cores].append(reference[app] / max(1, base.cycles))
+            widir_times[cores].append(reference[app] / max(1, widir.cycles))
+    rows = []
+    for cores in core_counts:
+        rows.append(
+            [
+                cores,
+                _geomean(base_times[cores]),
+                _geomean(widir_times[cores]),
+            ]
+        )
+    text = format_table(
+        ["cores", "Baseline speedup", "WiDir speedup"],
+        rows,
+        title="Figure 10: average speedup over 4-core Baseline",
+    )
+    return FigureResult("fig10", ["cores", "base", "widir"], rows, text)
+
+
+# ---------------------------------------------------------------- Table VI
+
+def table6_sensitivity(
+    apps: Optional[Iterable[str]] = None,
+    thresholds: Sequence[int] = (2, 3, 4, 5),
+    num_cores: int = 64,
+    memops: Optional[int] = None,
+) -> FigureResult:
+    """Table VI: MaxWiredSharers sweep — speedup and collision probability."""
+    apps = _apps_or_default(apps)
+    base_cycles: Dict[str, int] = {}
+    for app in apps:
+        base_cycles[app] = run_app(
+            app, baseline_config(num_cores=num_cores), memops
+        ).cycles
+    rows = []
+    for threshold in thresholds:
+        speedups = []
+        collisions = []
+        for app in apps:
+            widir = run_app(
+                app,
+                widir_config(num_cores=num_cores, max_wired_sharers=threshold),
+                memops,
+            )
+            speedups.append(base_cycles[app] / max(1, widir.cycles))
+            collisions.append(widir.collision_probability)
+        rows.append(
+            [
+                threshold,
+                _geomean(speedups),
+                sum(collisions) / len(collisions) if collisions else 0.0,
+            ]
+        )
+    text = format_table(
+        ["MaxWiredSharers", "speedup vs Baseline", "collision prob."],
+        rows,
+        title="Table VI: MaxWiredSharers sensitivity (64 cores)",
+    )
+    return FigureResult("table6", ["threshold", "speedup", "collisions"], rows, text)

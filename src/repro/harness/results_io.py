@@ -1,0 +1,97 @@
+"""Serialization of simulation results.
+
+``result_to_dict`` / ``result_from_dict`` round-trip a
+:class:`~repro.harness.runner.SimulationResult` through plain JSON types so
+sweeps can be archived, diffed across commits, and re-rendered without
+re-simulating. ``save_results`` / ``load_results`` handle files of many
+results keyed by an experiment label.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.config.presets import baseline_config, widir_config
+from repro.energy.models import EnergyBreakdown
+from repro.harness.runner import SimulationResult
+
+_SCALAR_FIELDS = (
+    "app",
+    "cycles",
+    "instructions",
+    "memory_stall_cycles",
+    "sync_stall_cycles",
+    "load_latency_total",
+    "store_latency_total",
+    "read_misses",
+    "write_misses",
+    "wireless_writes",
+    "collision_probability",
+)
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Flatten a result into JSON-serializable types."""
+    payload = {field: getattr(result, field) for field in _SCALAR_FIELDS}
+    payload["config"] = {
+        "num_cores": result.config.num_cores,
+        "protocol": result.config.protocol,
+        "max_wired_sharers": result.config.directory.max_wired_sharers,
+        "seed": result.config.seed,
+    }
+    payload["sharer_histogram"] = dict(result.sharer_histogram)
+    payload["hop_histogram"] = dict(result.hop_histogram)
+    payload["energy"] = result.energy.as_dict()
+    payload["stats_counters"] = dict(result.stats_counters)
+    # Derived metrics recomputed on load; stored for human inspection only.
+    payload["derived"] = {
+        "mpki": result.mpki,
+        "memory_stall_fraction": result.memory_stall_fraction,
+    }
+    return payload
+
+
+def result_from_dict(payload: dict) -> SimulationResult:
+    """Reconstruct a :class:`SimulationResult` saved by ``result_to_dict``."""
+    config_info = payload["config"]
+    make = widir_config if config_info["protocol"] == "widir" else baseline_config
+    kwargs = dict(num_cores=config_info["num_cores"], seed=config_info["seed"])
+    if config_info["protocol"] == "widir":
+        kwargs["max_wired_sharers"] = config_info["max_wired_sharers"]
+    config = make(**kwargs)
+    energy = EnergyBreakdown(**payload["energy"])
+    return SimulationResult(
+        app=payload["app"],
+        config=config,
+        cycles=payload["cycles"],
+        instructions=payload["instructions"],
+        memory_stall_cycles=payload["memory_stall_cycles"],
+        sync_stall_cycles=payload["sync_stall_cycles"],
+        load_latency_total=payload["load_latency_total"],
+        store_latency_total=payload["store_latency_total"],
+        read_misses=payload["read_misses"],
+        write_misses=payload["write_misses"],
+        wireless_writes=payload["wireless_writes"],
+        sharer_histogram=dict(payload["sharer_histogram"]),
+        hop_histogram=dict(payload["hop_histogram"]),
+        collision_probability=payload["collision_probability"],
+        energy=energy,
+        stats_counters=dict(payload["stats_counters"]),
+    )
+
+
+def save_results(
+    results: Dict[str, SimulationResult], path: Union[str, Path]
+) -> None:
+    """Write a label -> result mapping as pretty-printed JSON."""
+    payload = {label: result_to_dict(result) for label, result in results.items()}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_results(path: Union[str, Path]) -> Dict[str, SimulationResult]:
+    """Load a file written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    return {label: result_from_dict(entry) for label, entry in payload.items()}

@@ -1,0 +1,130 @@
+"""Parameter-sweep utilities.
+
+Thin, composable helpers for running grids of (application, machine)
+configurations and collecting :class:`~repro.harness.runner.SimulationResult`
+objects keyed by a readable label — the building block behind the
+sensitivity benchmarks and the CLI's batch workflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+from repro.config.presets import baseline_config, widir_config
+from repro.config.system import SystemConfig
+from repro.harness.runner import SimulationResult, run_app
+
+
+def label_for(app: str, config: SystemConfig) -> str:
+    """Canonical sweep label: app/protocol/cores[/tN for WiDir thresholds]."""
+    parts = [app, config.protocol, f"{config.num_cores}c"]
+    if config.protocol == "widir":
+        parts.append(f"t{config.directory.max_wired_sharers}")
+    return "/".join(parts)
+
+
+def sweep_protocols(
+    apps: Iterable[str],
+    num_cores: int = 64,
+    memops: Optional[int] = None,
+    seed: int = 42,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, SimulationResult]:
+    """Run every app on both machines; returns label -> result."""
+    results: Dict[str, SimulationResult] = {}
+    for app in apps:
+        for config in (
+            baseline_config(num_cores=num_cores, seed=seed),
+            widir_config(num_cores=num_cores, seed=seed),
+        ):
+            label = label_for(app, config)
+            if progress is not None:
+                progress(label)
+            results[label] = run_app(app, config, memops)
+    return results
+
+
+def sweep_core_counts(
+    app: str,
+    core_counts: Sequence[int],
+    memops: Optional[int] = None,
+    seed: int = 42,
+) -> Dict[str, SimulationResult]:
+    """One app across machine sizes, both protocols."""
+    results: Dict[str, SimulationResult] = {}
+    for cores in core_counts:
+        for config in (
+            baseline_config(num_cores=cores, seed=seed),
+            widir_config(num_cores=cores, seed=seed),
+        ):
+            results[label_for(app, config)] = run_app(app, config, memops)
+    return results
+
+
+def sweep_thresholds(
+    app: str,
+    thresholds: Sequence[int],
+    num_cores: int = 64,
+    memops: Optional[int] = None,
+    seed: int = 42,
+) -> Dict[str, SimulationResult]:
+    """One app across MaxWiredSharers values (Table VI style)."""
+    results: Dict[str, SimulationResult] = {}
+    for threshold in thresholds:
+        config = widir_config(
+            num_cores=num_cores, max_wired_sharers=threshold, seed=seed
+        )
+        results[label_for(app, config)] = run_app(app, config, memops)
+    return results
+
+
+def sweep_config_field(
+    app: str,
+    base_config: SystemConfig,
+    field_path: str,
+    values: Sequence,
+    memops: Optional[int] = None,
+) -> Dict[str, SimulationResult]:
+    """Generic sweep over one (possibly nested) config field.
+
+    ``field_path`` is dotted, e.g. ``"wireless.data_transfer_cycles"`` or
+    ``"noc.cycles_per_hop"``. Each value produces one run labelled
+    ``app/<field>=<value>``.
+    """
+    results: Dict[str, SimulationResult] = {}
+    parts = field_path.split(".")
+    for value in values:
+        config = base_config
+        if len(parts) == 1:
+            config = replace(config, **{parts[0]: value})
+        elif len(parts) == 2:
+            inner = getattr(config, parts[0])
+            config = replace(config, **{parts[0]: replace(inner, **{parts[1]: value})})
+        else:
+            raise ValueError(f"field path too deep: {field_path!r}")
+        config.validate()
+        results[f"{app}/{field_path}={value}"] = run_app(app, config, memops)
+    return results
+
+
+def speedup_table(results: Dict[str, SimulationResult]) -> Dict[str, float]:
+    """Pair up baseline/widir labels from :func:`sweep_protocols` and return
+    app -> WiDir speedup."""
+    speedups: Dict[str, float] = {}
+    for label, result in results.items():
+        if "/baseline/" not in label:
+            continue
+        widir_label = label.replace("/baseline/", "/widir/") + "/t3"
+        partner = results.get(widir_label) or results.get(
+            label.replace("/baseline/", "/widir/")
+        )
+        if partner is None:
+            # Threshold suffix may differ; match on prefix.
+            prefix = label.replace("/baseline/", "/widir/")
+            candidates = [r for l, r in results.items() if l.startswith(prefix)]
+            partner = candidates[0] if candidates else None
+        if partner is not None:
+            app = label.split("/")[0]
+            speedups[app] = result.cycles / max(1, partner.cycles)
+    return speedups

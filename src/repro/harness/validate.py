@@ -1,0 +1,111 @@
+"""Cross-validation of simulation results against analytical models.
+
+A measured result wildly off the closed-form curve usually means a workload
+or MAC modelling bug, not an interesting finding. ``validate_result`` runs
+the cheap checks and returns human-readable findings; the test suite runs
+it over representative simulations, and users can call it on their own
+sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.harness.runner import SimulationResult
+from repro.wireless.analysis import estimate_channel
+
+
+class Finding(NamedTuple):
+    severity: str   # "info" | "warn"
+    message: str
+
+
+def validate_result(result: SimulationResult) -> List[Finding]:
+    """Sanity-check one run's statistics for internal consistency."""
+    findings: List[Finding] = []
+    counters = result.stats_counters
+
+    # --- basic accounting identities -----------------------------------
+    accesses = counters.get("l1.total.accesses", 0)
+    if result.misses > accesses:
+        findings.append(
+            Finding("warn", f"misses ({result.misses}) exceed accesses ({accesses})")
+        )
+    total_cycles = result.cycles * result.config.num_cores
+    if result.total_stall_cycles > total_cycles:
+        findings.append(
+            Finding(
+                "warn",
+                "stall cycles exceed total machine cycles "
+                f"({result.total_stall_cycles} > {total_cycles})",
+            )
+        )
+
+    # --- wireless consistency -------------------------------------------
+    if result.config.uses_wireless:
+        frames = counters.get("wnoc.frames", 0)
+        attempts = counters.get("wnoc.attempts", 0)
+        if frames > attempts:
+            findings.append(
+                Finding("warn", f"delivered frames ({frames}) exceed attempts")
+            )
+        if result.cycles > 0 and frames > 0:
+            offered = frames / result.cycles
+            estimate = estimate_channel(result.config.wireless, offered)
+            if estimate.utilization > 1.0:
+                findings.append(
+                    Finding(
+                        "warn",
+                        f"measured wireless throughput {offered:.4f}/cycle "
+                        f"exceeds channel capacity {estimate.capacity:.4f}",
+                    )
+                )
+            # The measured collision rate should not be dramatically *below*
+            # the load-implied floor (that would mean collisions are being
+            # under-counted), nor absurdly high at negligible load.
+            if offered < 0.01 and result.collision_probability > 0.98:
+                findings.append(
+                    Finding(
+                        "warn",
+                        "near-total collisions at negligible load: "
+                        f"p={result.collision_probability:.2f} at "
+                        f"{offered:.4f} frames/cycle",
+                    )
+                )
+            findings.append(
+                Finding(
+                    "info",
+                    f"wireless: offered {offered:.4f}/cyc "
+                    f"(utilization {estimate.utilization:.1%}), measured "
+                    f"collision p {result.collision_probability:.1%}, "
+                    f"analytic {estimate.collision_probability:.1%}",
+                )
+            )
+    else:
+        if result.wireless_writes:
+            findings.append(
+                Finding("warn", "baseline machine reports wireless writes")
+            )
+
+    # --- histogram totals -------------------------------------------------
+    hist_total = sum(result.sharer_histogram.values())
+    if hist_total and not result.config.uses_wireless:
+        findings.append(
+            Finding("warn", "baseline machine recorded a sharer histogram")
+        )
+    if result.config.uses_wireless and result.wireless_writes:
+        # Every wireless data write lands one histogram sample at the home.
+        if hist_total == 0:
+            findings.append(
+                Finding(
+                    "warn",
+                    f"{result.wireless_writes} wireless writes but an empty "
+                    "sharers-per-update histogram",
+                )
+            )
+    return findings
+
+
+def warnings_only(findings: List[Finding]) -> List[Finding]:
+    """Filter to actionable findings."""
+    return [finding for finding in findings if finding.severity == "warn"]

@@ -1,0 +1,76 @@
+"""Byte-address decomposition and home-node mapping.
+
+The shared L2 (and its directory) is physically distributed: one bank per
+tile, line-interleaved. ``AddressMap`` centralizes every address calculation
+so the line size appears in exactly one place.
+"""
+
+from __future__ import annotations
+
+from repro.engine.errors import ConfigurationError
+
+
+class AddressMap:
+    """Translates byte addresses to lines, words, homes, and controllers.
+
+    Parameters
+    ----------
+    line_bytes:
+        Cache line size; must be a power of two.
+    num_cores:
+        Tile count; L2 banks (and directory slices) are line-interleaved
+        across all tiles.
+    num_memory_controllers:
+        Off-chip channels; lines are interleaved across them as well.
+    """
+
+    __slots__ = ("line_bytes", "num_cores", "num_memory_controllers", "_line_shift")
+
+    WORD_BYTES = 8  # the wireless update granularity: one 64-bit word
+
+    def __init__(
+        self, line_bytes: int, num_cores: int, num_memory_controllers: int = 4
+    ) -> None:
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ConfigurationError(f"line size must be a power of two, got {line_bytes}")
+        self.line_bytes = line_bytes
+        self.num_cores = num_cores
+        self.num_memory_controllers = num_memory_controllers
+        self._line_shift = line_bytes.bit_length() - 1
+
+    def line_of(self, address: int) -> int:
+        """Line address (byte address with offset bits dropped)."""
+        return address >> self._line_shift
+
+    def base_of(self, line: int) -> int:
+        """First byte address of a line."""
+        return line << self._line_shift
+
+    def offset_of(self, address: int) -> int:
+        """Byte offset within the line."""
+        return address & (self.line_bytes - 1)
+
+    def word_of(self, address: int) -> int:
+        """Word index within the line (wireless updates move one word)."""
+        return self.offset_of(address) // self.WORD_BYTES
+
+    def words_per_line(self) -> int:
+        return self.line_bytes // self.WORD_BYTES
+
+    def home_of(self, line: int) -> int:
+        """Tile whose L2 bank / directory slice owns this line.
+
+        The home is a *hash* of the line address, not plain modulo
+        interleaving: strided allocations (every core's ``i``-th private
+        page line) would otherwise all map to one home slice — and to one
+        LLC set within it — producing recall storms that no real design
+        exhibits. Commercial LLCs hash the slice selection for exactly this
+        reason.
+        """
+        h = line ^ (line >> 7) ^ (line >> 13)
+        return ((h * 0x9E3779B1) >> 4) % self.num_cores
+
+    def controller_of(self, line: int) -> int:
+        """Off-chip memory controller serving this line."""
+        h = line ^ (line >> 9)
+        return h % self.num_memory_controllers

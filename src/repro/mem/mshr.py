@@ -1,0 +1,85 @@
+"""Miss Status Holding Registers.
+
+One MSHR tracks one outstanding line-granularity transaction from a private
+cache (GetS/GetX in flight). Secondary misses to the same line coalesce onto
+the existing register instead of issuing duplicate requests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+
+class Mshr:
+    """One outstanding miss: the line, the request kind, and waiters."""
+
+    __slots__ = (
+        "line",
+        "is_write",
+        "issued_at",
+        "waiters",
+        "tone_pending",
+        "pinned_line",
+        "request_serial",
+    )
+
+    def __init__(self, line: int, is_write: bool, issued_at: int) -> None:
+        self.line = line
+        self.is_write = is_write
+        self.issued_at = issued_at
+        #: Serial of the most recent GetS/GetX sent for this miss. Nacks
+        #: echo it so a stale bounce (for a superseded request) is ignored
+        #: instead of spawning a duplicate request.
+        self.request_serial = 0
+        #: Callbacks run when the miss completes (core wakeups).
+        self.waiters: List[Callable[[], None]] = []
+        #: Set when a BrWirUpgr was heard while this miss was outstanding:
+        #: the node's ToneAck tone drops when the miss completes (or bounces).
+        self.tone_pending = False
+        #: Set when this is an upgrade of a resident line, which is pinned
+        #: against local eviction until the transaction completes.
+        self.pinned_line = False
+
+    def add_waiter(self, callback: Callable[[], None]) -> None:
+        self.waiters.append(callback)
+
+    def complete(self) -> None:
+        """Wake every coalesced waiter in arrival order."""
+        waiters, self.waiters = self.waiters, []
+        for callback in waiters:
+            callback()
+
+
+class MshrFile:
+    """Fixed-capacity pool of :class:`Mshr` entries for one private cache."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: Dict[int, Mshr] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._entries
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def get(self, line: int) -> Optional[Mshr]:
+        return self._entries.get(line)
+
+    def allocate(self, line: int, is_write: bool, now: int) -> Mshr:
+        """Create a new entry; the caller must have checked :attr:`full`."""
+        assert line not in self._entries, f"MSHR for 0x{line:x} already allocated"
+        entry = Mshr(line, is_write, now)
+        self._entries[line] = entry
+        return entry
+
+    def release(self, line: int) -> Mshr:
+        """Remove and return the entry for a completed miss."""
+        return self._entries.pop(line)
+
+    def outstanding_lines(self) -> List[int]:
+        return list(self._entries)

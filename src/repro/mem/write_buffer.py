@@ -1,0 +1,63 @@
+"""The core's store/write buffer.
+
+Stores retire from the ROB into this buffer and drain to the L1 in FIFO
+order; the core only stalls on stores when the buffer is full. Wireless
+writes additionally sit here until the transceiver confirms the frame is
+guaranteed to transmit (Section IV-C of the paper), at which point they merge
+into the local cache.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+
+class PendingStore:
+    """One buffered store: address, value, and whether it is an RMW write."""
+
+    __slots__ = ("address", "value", "is_rmw", "enqueued_at")
+
+    def __init__(self, address: int, value: int, is_rmw: bool, enqueued_at: int) -> None:
+        self.address = address
+        self.value = value
+        self.is_rmw = is_rmw
+        self.enqueued_at = enqueued_at
+
+
+class WriteBuffer:
+    """Bounded FIFO of :class:`PendingStore` entries."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._queue: Deque[PendingStore] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def push(self, address: int, value: int, is_rmw: bool, now: int) -> PendingStore:
+        assert not self.full, "caller must stall the core when the buffer is full"
+        store = PendingStore(address, value, is_rmw, now)
+        self._queue.append(store)
+        return store
+
+    def head(self) -> Optional[PendingStore]:
+        return self._queue[0] if self._queue else None
+
+    def pop(self) -> PendingStore:
+        return self._queue.popleft()
+
+    def forwarded_value(self, address: int) -> Optional[int]:
+        """Store-to-load forwarding: youngest buffered value for ``address``."""
+        for store in reversed(self._queue):
+            if store.address == address:
+                return store.value
+        return None

@@ -1,0 +1,14 @@
+"""Wired 2D-mesh network on chip.
+
+Messages travel home-to-requester and back over a dimension-ordered (XY)
+routed mesh. The model is transaction-level: each message experiences a
+per-hop latency, fixed router overhead, and first-order per-link queueing
+contention; the harness additionally records the Table V hops-per-leg
+distribution from exactly these messages.
+"""
+
+from repro.noc.message import Message
+from repro.noc.mesh import MeshNetwork
+from repro.noc.topology import MeshTopology
+
+__all__ = ["Message", "MeshNetwork", "MeshTopology"]

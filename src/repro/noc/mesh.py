@@ -1,0 +1,129 @@
+"""Transaction-level mesh network model.
+
+Latency of a message = router/NI overhead
+                     + hops * cycles_per_hop
+                     + per-link queueing delay (optional)
+                     + extra serialization cycles for data-bearing messages.
+
+Contention is modelled per directed link with a "busy-until" reservation
+timeline: a message crossing a link must wait for the link's previous
+occupant to clear it, and reserves it for its own serialization time. This
+first-order model captures the paper's observation that wired coherence legs
+on a 64-core mesh are long (Table V) and get slower under load, without
+simulating individual flits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.config.system import NocConfig
+from repro.engine.simulator import Simulator
+from repro.noc.message import Message
+from repro.noc.topology import MeshTopology
+from repro.stats.collectors import StatsRegistry
+
+#: Table V bins for hops per coherence leg.
+HOP_BINS = ((0, 2), (3, 5), (6, 8), (9, 11), (12, None))
+
+
+class MeshNetwork:
+    """Delivers :class:`Message` objects between tiles with mesh timing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: MeshTopology,
+        config: NocConfig,
+        stats: StatsRegistry,
+        line_bytes: int = 64,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.config = config
+        self.stats = stats
+        #: Cycles a data-bearing message occupies each link: line / link width.
+        self.data_serialization_cycles = max(
+            1, (line_bytes * 8) // config.link_width_bits
+        )
+        self._link_busy_until: Dict[Tuple[int, int], int] = {}
+        #: Last delivery cycle per (src, dst): dimension-ordered routing means
+        #: same-pair messages share a path, so delivery is FIFO per pair. The
+        #: coherence protocol relies on this (e.g. a response sent before a
+        #: forward must arrive first).
+        self._pair_order: Dict[Tuple[int, int], int] = {}
+        self._handlers: Dict[int, Callable[[Message], None]] = {}
+        self._messages = stats.counter("noc.messages")
+        self._data_messages = stats.counter("noc.data_messages")
+        self._total_hops = stats.counter("noc.total_hops")
+        self._queueing = stats.counter("noc.queueing_cycles")
+        self._hop_histogram = stats.histogram("noc.hops_per_leg", HOP_BINS)
+
+    def register_handler(self, node: int, handler: Callable[[Message], None]) -> None:
+        """Attach the tile-side receive callback for ``node``."""
+        self._handlers[node] = handler
+
+    def latency_estimate(self, src: int, dst: int, carries_data: bool = False) -> int:
+        """Uncontended latency (used by tests and analytical sanity checks)."""
+        hops = self.topology.hops(src, dst)
+        latency = self.config.router_overhead_cycles + hops * self.config.cycles_per_hop
+        if carries_data:
+            latency += self.data_serialization_cycles
+        return max(1, latency)
+
+    def send(self, message: Message, extra_delay: int = 0) -> None:
+        """Inject ``message``; it is delivered to the destination handler.
+
+        ``extra_delay`` lets callers model local processing time before the
+        message reaches the network interface.
+        """
+        message.sent_at = self.sim.now
+        hops = self.topology.hops(message.src, message.dst)
+        self._messages.add()
+        self._total_hops.add(hops)
+        self._hop_histogram.record(hops)
+        if message.carries_data:
+            self._data_messages.add()
+
+        serialization = (
+            self.data_serialization_cycles if message.carries_data else 1
+        )
+        depart = self.sim.now + extra_delay + self.config.router_overhead_cycles
+        if self.config.model_contention and message.src != message.dst:
+            arrival = self._traverse(message, depart, serialization)
+        else:
+            arrival = depart + hops * self.config.cycles_per_hop
+            if message.carries_data:
+                arrival += self.data_serialization_cycles
+
+        pair = (message.src, message.dst)
+        arrival = max(arrival, self.sim.now, self._pair_order.get(pair, 0) + 1)
+        self._pair_order[pair] = arrival
+        self.sim.schedule_at(arrival, lambda: self._deliver(message))
+
+    def _traverse(self, message: Message, depart: int, serialization: int) -> int:
+        """Walk the XY route reserving each link; return the arrival cycle."""
+        time = depart
+        for link in self.topology.route(message.src, message.dst):
+            ready = self._link_busy_until.get(link, 0)
+            if ready > time:
+                self._queueing.add(ready - time)
+                time = ready
+            # The head reaches the far side after the hop latency; the link
+            # stays occupied while the body (serialization) streams through.
+            self._link_busy_until[link] = time + serialization
+            time += self.config.cycles_per_hop
+        # The tail of a data message lands ``serialization`` cycles later.
+        if serialization > 1:
+            time += serialization - 1
+        return time
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.dst)
+        if handler is None:
+            raise KeyError(f"no handler registered for node {message.dst}")
+        handler(message)
+
+    def average_hops(self) -> float:
+        count = self._messages.value
+        return self._total_hops.value / count if count else 0.0

@@ -1,0 +1,55 @@
+"""Coherence messages carried by the wired mesh.
+
+One class covers every wired message; the ``kind`` field names the protocol
+action (GetS, GetX, Data, Inv, InvAck, PutS, PutM, WBAck, WirUpgr,
+WirUpgrAck, PutW, WirDwgrAck, ...). Size matters only for link occupancy:
+control messages are one flit, data-bearing messages carry a line.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+#: Message kinds that carry a full cache line (affects link occupancy).
+DATA_BEARING_KINDS = frozenset({"Data", "DataE", "FwdData", "WBData", "WirUpgr"})
+
+
+class Message:
+    """A single wired NoC message.
+
+    Attributes
+    ----------
+    kind:
+        Protocol message name (e.g. ``"GetS"``).
+    src, dst:
+        Tile ids.
+    line:
+        Line address the transaction concerns.
+    payload:
+        Free-form protocol fields (data words, sharer flags, ack counts...).
+    """
+
+    __slots__ = ("kind", "src", "dst", "line", "payload", "sent_at")
+
+    def __init__(
+        self,
+        kind: str,
+        src: int,
+        dst: int,
+        line: int,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.line = line
+        self.payload = payload if payload is not None else {}
+        self.sent_at: Optional[int] = None
+
+    @property
+    def carries_data(self) -> bool:
+        return self.kind in DATA_BEARING_KINDS
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Message({self.kind} {self.src}->{self.dst} line=0x{self.line:x})"

@@ -1,0 +1,27 @@
+"""Statistics collection and report formatting.
+
+Every measurable quantity in the simulator flows through one of the small
+collector classes here (:class:`Counter`, :class:`BinnedHistogram`,
+:class:`LatencyStat`), which are grouped per component in a
+:class:`StatsRegistry`. The harness then renders registries into the same
+rows/series the paper's tables and figures report, via :mod:`repro.stats.report`.
+"""
+
+from repro.stats.collectors import (
+    BinnedHistogram,
+    Counter,
+    ExactHistogram,
+    LatencyStat,
+    StatsRegistry,
+)
+from repro.stats.report import format_table, normalize
+
+__all__ = [
+    "BinnedHistogram",
+    "Counter",
+    "ExactHistogram",
+    "LatencyStat",
+    "StatsRegistry",
+    "format_table",
+    "normalize",
+]

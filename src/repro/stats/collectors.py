@@ -1,0 +1,188 @@
+"""Low-overhead statistic collectors.
+
+These are deliberately plain classes with integer/float fields rather than
+numpy arrays: each simulated event touches at most a handful of them, and
+attribute increments are faster than array indexing at this scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A named monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class LatencyStat:
+    """Accumulates a latency distribution: count, sum, min, max.
+
+    The paper reports *total* memory latency (Figure 7), so the sum is the
+    primary output; mean/min/max come along for diagnostics.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def record(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "LatencyStat") -> None:
+        """Fold another accumulator into this one (for cross-core totals)."""
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+
+class BinnedHistogram:
+    """Histogram over fixed inclusive bins, e.g. Figure 5's sharer-count bins.
+
+    Parameters
+    ----------
+    name:
+        Display name.
+    bin_edges:
+        Sequence of (low, high) inclusive bounds. ``high`` may be ``None``
+        for an open-ended final bin ("50+").
+    """
+
+    def __init__(
+        self, name: str, bin_edges: Sequence[Tuple[int, Optional[int]]]
+    ) -> None:
+        self.name = name
+        self.bins: List[Tuple[int, Optional[int]]] = list(bin_edges)
+        self.counts: List[int] = [0] * len(self.bins)
+        self.overflow = 0  # values below the first bin or between gaps
+
+    def record(self, value: int, weight: int = 1) -> None:
+        for i, (low, high) in enumerate(self.bins):
+            if value >= low and (high is None or value <= high):
+                self.counts[i] += weight
+                return
+        self.overflow += weight
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.overflow
+
+    def fractions(self) -> List[float]:
+        """Per-bin fraction of all recorded values (overflow excluded)."""
+        recorded = sum(self.counts)
+        if recorded == 0:
+            return [0.0] * len(self.bins)
+        return [c / recorded for c in self.counts]
+
+    def labels(self) -> List[str]:
+        out = []
+        for low, high in self.bins:
+            if high is None:
+                out.append(f"{low}+")
+            elif low == high:
+                out.append(str(low))
+            else:
+                out.append(f"{low}-{high}")
+        return out
+
+
+class ExactHistogram:
+    """Exact value -> count map, for distributions whose support is unknown."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counts: Dict[int, int] = {}
+
+    def record(self, value: int, weight: int = 1) -> None:
+        self.counts[value] = self.counts.get(value, 0) + weight
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def mean(self) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return sum(v * c for v, c in self.counts.items()) / total
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        return sorted(self.counts.items())
+
+
+class StatsRegistry:
+    """A named group of collectors, one per component instance.
+
+    Components call :meth:`counter` / :meth:`latency` / :meth:`histogram`
+    once at construction; the same object is returned on repeat calls so the
+    harness can look stats up by name after a run.
+    """
+
+    def __init__(self, name: str = "stats") -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._latencies: Dict[str, LatencyStat] = {}
+        self._binned: Dict[str, BinnedHistogram] = {}
+        self._exact: Dict[str, ExactHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def latency(self, name: str) -> LatencyStat:
+        if name not in self._latencies:
+            self._latencies[name] = LatencyStat(name)
+        return self._latencies[name]
+
+    def histogram(
+        self, name: str, bins: Sequence[Tuple[int, Optional[int]]]
+    ) -> BinnedHistogram:
+        if name not in self._binned:
+            self._binned[name] = BinnedHistogram(name, bins)
+        return self._binned[name]
+
+    def exact_histogram(self, name: str) -> ExactHistogram:
+        if name not in self._exact:
+            self._exact[name] = ExactHistogram(name)
+        return self._exact[name]
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of all counter values (for assertions and reports)."""
+        return {n: c.value for n, c in self._counters.items()}
+
+    def get_counter(self, name: str) -> int:
+        """Value of a counter, 0 if it was never created."""
+        counter = self._counters.get(name)
+        return counter.value if counter else 0

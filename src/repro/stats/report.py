@@ -1,0 +1,69 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The paper's figures are bar charts over applications; the harness prints the
+same data as aligned text tables so `pytest benchmarks/ --benchmark-only`
+output is directly comparable against the figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def normalize(values: Dict[str, Number], reference: Dict[str, Number]) -> Dict[str, float]:
+    """Normalize ``values`` per-key against ``reference`` (paper-style bars).
+
+    Keys with a zero or missing reference normalize to 0.0 rather than
+    raising, since empty categories occur in tiny test runs.
+    """
+    out: Dict[str, float] = {}
+    for key, value in values.items():
+        ref = reference.get(key, 0)
+        out[key] = value / ref if ref else 0.0
+    return out
+
+
+def _format_cell(value, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Union[str, Number]]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row cell values; floats are rendered with ``precision`` decimals.
+    title:
+        Optional heading printed above the table.
+    """
+    text_rows: List[List[str]] = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_line(headers))
+    lines.append(fmt_line(["-" * w for w in widths]))
+    lines.extend(fmt_line(row) for row in text_rows)
+    return "\n".join(lines)

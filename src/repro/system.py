@@ -1,0 +1,158 @@
+"""Machine assembly: wire every component of Table III into a manycore.
+
+:class:`Manycore` builds the whole system for a given
+:class:`~repro.config.SystemConfig` — simulator kernel, address map, wired
+mesh, optional wireless channels, per-tile cache and directory controllers,
+memory controllers — and routes messages/frames to the right controller.
+The CPU cores (:mod:`repro.cpu`) attach on top of this object.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.coherence import messages as mk
+from repro.coherence.cache import CacheController
+from repro.coherence.checker import CoherenceChecker
+from repro.coherence.dir_controller import DirectoryController
+from repro.config.system import SystemConfig
+from repro.engine.simulator import Simulator
+from repro.mem.address import AddressMap
+from repro.mem.memory_controller import MainMemory, MemoryController
+from repro.noc.mesh import MeshNetwork
+from repro.noc.message import Message
+from repro.noc.topology import MeshTopology
+from repro.stats.collectors import StatsRegistry
+from repro.wireless.channel import WirelessDataChannel
+from repro.wireless.frames import WirelessFrame
+from repro.wireless.tone import ToneChannel
+
+#: Wired message kinds consumed by the home directory slice of a tile.
+_DIRECTORY_KINDS = frozenset(
+    {
+        mk.GETS,
+        mk.GETX,
+        mk.PUTS,
+        mk.PUTM,
+        mk.PUTW,
+        mk.INV_ACK,
+        mk.INV_ACK_DATA,
+        mk.WB_DATA,
+        mk.FWD_ACK,
+        mk.WIR_UPGR_ACK,
+        mk.WIR_DWGR_ACK,
+    }
+)
+
+
+class Manycore:
+    """A fully wired manycore ready to execute memory operations.
+
+    Parameters
+    ----------
+    config:
+        Machine description; ``config.protocol`` chooses Baseline or WiDir.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        config.validate()
+        self.config = config
+        self.sim = Simulator(config.seed)
+        self.stats = StatsRegistry("manycore")
+        self.amap = AddressMap(
+            config.l1.line_bytes, config.num_cores, config.memory.num_controllers
+        )
+        self.topology = MeshTopology(config.num_cores, config.mesh_width)
+        self.mesh = MeshNetwork(
+            self.sim, self.topology, config.noc, self.stats, config.l1.line_bytes
+        )
+
+        self.wireless: Optional[WirelessDataChannel] = None
+        self.tone: Optional[ToneChannel] = None
+        if config.uses_wireless:
+            self.wireless = WirelessDataChannel(
+                self.sim,
+                config.wireless,
+                config.num_cores,
+                self.stats,
+                self.sim.rng.split("wnoc"),
+            )
+            self.tone = ToneChannel(
+                self.sim, config.wireless.tone_cycles, self.stats
+            )
+
+        self.memory = MainMemory()
+        self.memory_controllers: List[MemoryController] = [
+            MemoryController(
+                self.sim, self.memory, config.memory.round_trip_cycles, self.stats, i
+            )
+            for i in range(config.memory.num_controllers)
+        ]
+
+        self.caches: List[CacheController] = []
+        self.directories: List[DirectoryController] = []
+        for node in range(config.num_cores):
+            cache = CacheController(
+                self.sim,
+                node,
+                config,
+                self.amap,
+                self.mesh,
+                self.stats,
+                self.sim.rng.split(f"cache-{node}"),
+                wireless=self.wireless,
+                tone=self.tone,
+            )
+            directory = DirectoryController(
+                self.sim,
+                node,
+                config,
+                self.amap,
+                self.mesh,
+                self.memory_controllers,
+                self.stats,
+                wireless=self.wireless,
+                tone=self.tone,
+            )
+            self.caches.append(cache)
+            self.directories.append(directory)
+            self.mesh.register_handler(node, self._make_wired_router(node))
+            if self.wireless is not None:
+                self.wireless.register_receiver(node, self._make_frame_router(node))
+
+        self.checker = CoherenceChecker(self.caches, self.directories, self.memory)
+
+    def _make_wired_router(self, node: int):
+        cache = self.caches[node]
+        directory = self.directories[node]
+
+        def route(message: Message) -> None:
+            if message.kind in _DIRECTORY_KINDS:
+                directory.handle_message(message)
+            else:
+                cache.handle_message(message)
+
+        return route
+
+    def _make_frame_router(self, node: int):
+        cache = self.caches[node]
+        directory = self.directories[node]
+
+        def route(frame: WirelessFrame) -> None:
+            cache.handle_frame(frame)
+            directory.handle_frame(frame)
+
+        return route
+
+    # --------------------------------------------------------- conveniences
+
+    def cache(self, node: int) -> CacheController:
+        return self.caches[node]
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue (delegates to the simulator kernel)."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def check_coherence(self, quiescent: bool = True) -> None:
+        """Validate global protocol invariants (see CoherenceChecker)."""
+        self.checker.check(quiescent=quiescent)

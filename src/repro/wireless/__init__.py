@@ -1,0 +1,26 @@
+"""Wireless network on chip.
+
+Two channels, exactly as in the paper (Section III-A):
+
+* the **data channel** (:class:`~repro.wireless.channel.WirelessDataChannel`)
+  — a single shared broadcast medium running the BRS MAC protocol: 1-cycle
+  preamble, 1-cycle collision detect, 4-cycle payload, exponential backoff on
+  collision — extended with the paper's *Selective Data-Channel Jamming*
+  primitive; and
+* the **tone channel** (:class:`~repro.wireless.tone.ToneChannel`) — the
+  special-purpose acknowledgment channel behind the *ToneAck* primitive.
+"""
+
+from repro.wireless.brs import BackoffPolicy
+from repro.wireless.channel import TransmitRequest, WirelessDataChannel
+from repro.wireless.frames import WirelessFrame
+from repro.wireless.tone import ToneAckOperation, ToneChannel
+
+__all__ = [
+    "BackoffPolicy",
+    "ToneAckOperation",
+    "ToneChannel",
+    "TransmitRequest",
+    "WirelessDataChannel",
+    "WirelessFrame",
+]

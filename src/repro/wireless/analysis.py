@@ -1,0 +1,107 @@
+"""Analytical models of the wireless channel.
+
+Closed-form first-order estimates that complement the simulator: channel
+capacity, offered load, slotted-contention collision probability, and the
+expected cost of a wireless write under load. The test suite cross-checks
+these against the event-driven channel, and the harness uses them to sanity
+check measured collision probabilities (a measured value wildly off the
+analytical curve indicates a workload or MAC modelling bug).
+
+The contention model is the classic slotted-ALOHA-style approximation: with
+``n`` nodes each attempting a frame in a slot with probability ``p``, a
+given attempt succeeds when no other node attempts in the same slot.
+BRS's collision-detect slot makes collisions cheap (2 cycles), which the
+expected-cost model accounts for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config.system import WirelessConfig
+
+
+@dataclass(frozen=True)
+class ChannelLoadEstimate:
+    """Outputs of :func:`estimate_channel`. Rates are per cycle."""
+
+    offered_load: float          # frames requested per cycle (all nodes)
+    capacity: float              # max successful frames per cycle
+    utilization: float           # offered / capacity
+    collision_probability: float  # P(an attempt collides)
+    expected_write_cycles: float  # mean cycles from request to commit
+
+
+def channel_capacity(config: WirelessConfig) -> float:
+    """Successful frames per cycle when exactly one node ever transmits."""
+    return 1.0 / config.frame_cycles
+
+
+def collision_probability(num_contenders: float) -> float:
+    """P(attempt collides) with ``num_contenders`` average ready senders.
+
+    Poisson approximation of the slotted medium: an attempt succeeds iff no
+    other sender is ready in the same arbitration slot.
+    """
+    others = max(0.0, num_contenders - 1.0)
+    return 1.0 - math.exp(-others)
+
+
+def expected_write_cycles(
+    config: WirelessConfig, num_contenders: float, max_rounds: int = 12
+) -> float:
+    """Mean cycles from transmit request to the commit point.
+
+    Models repeated rounds of (attempt, maybe collide, back off) with the
+    configured exponential backoff, truncated at ``max_rounds``.
+    """
+    header = config.preamble_cycles + config.collision_detect_cycles
+    p_collide = collision_probability(num_contenders)
+    total = 0.0
+    survive = 1.0
+    for round_index in range(max_rounds):
+        # Cost of a failed round: the header slot plus the mean backoff.
+        exponent = min(round_index + 1, config.backoff_max_exponent)
+        window = config.backoff_base_cycles << (exponent - 1)
+        mean_backoff = 1 + (window - 1) / 2.0
+        success_here = survive * (1.0 - p_collide)
+        total += success_here * (round_index * (header + mean_backoff) + header)
+        survive *= p_collide
+    # Truncation mass: charge the final round's cost.
+    total += survive * max_rounds * (header + config.backoff_base_cycles)
+    return total
+
+
+def estimate_channel(
+    config: WirelessConfig,
+    writes_per_cycle: float,
+) -> ChannelLoadEstimate:
+    """First-order channel state for a machine-wide wireless write rate."""
+    capacity = channel_capacity(config)
+    utilization = writes_per_cycle / capacity if capacity else float("inf")
+    # Average ready contenders in an arbitration slot grows with queueing:
+    # below saturation it is roughly the offered load per slot; beyond it,
+    # queues build without bound and we report the saturated value.
+    contenders = writes_per_cycle * config.frame_cycles
+    if utilization >= 1.0:
+        contenders = max(contenders, 2.0)
+    p_collide = collision_probability(1.0 + contenders)
+    return ChannelLoadEstimate(
+        offered_load=writes_per_cycle,
+        capacity=capacity,
+        utilization=utilization,
+        collision_probability=p_collide,
+        expected_write_cycles=expected_write_cycles(config, 1.0 + contenders),
+    )
+
+
+def tone_ack_latency(num_nodes: int, config: WirelessConfig, slowest_task: int) -> int:
+    """Lower bound on a ToneAck's completion time.
+
+    The tone is silent once the slowest participant finishes its task; the
+    initiator then needs ``tone_cycles`` to detect silence. Node count does
+    not appear: that is the primitive's whole point (paper III-C2).
+    """
+    del num_nodes  # documented: ToneAck cost is independent of node count
+    return slowest_task + config.tone_cycles

@@ -1,0 +1,27 @@
+"""Exponential backoff policy of the BRS MAC protocol.
+
+After a collision (or a jam, which a transmitter cannot distinguish from a
+collision), a node waits a uniformly random number of cycles drawn from a
+window that doubles with each consecutive failure, up to a cap.
+"""
+
+from __future__ import annotations
+
+from repro.engine.rng import DeterministicRng
+
+
+class BackoffPolicy:
+    """Per-node deterministic exponential backoff state."""
+
+    __slots__ = ("base", "max_exponent", "_rng")
+
+    def __init__(self, base: int, max_exponent: int, rng: DeterministicRng) -> None:
+        self.base = base
+        self.max_exponent = max_exponent
+        self._rng = rng
+
+    def delay_for_attempt(self, failures: int) -> int:
+        """Backoff delay after the ``failures``-th consecutive failure (>=1)."""
+        exponent = min(max(failures, 1), self.max_exponent)
+        window = self.base << (exponent - 1)
+        return 1 + self._rng.randint(0, window - 1)

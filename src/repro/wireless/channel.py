@@ -1,0 +1,279 @@
+"""The shared wireless data channel with the BRS MAC and selective jamming.
+
+Model
+-----
+The medium is a single broadcast resource. A node with a frame to send waits
+until the medium is free. If exactly one node starts transmitting in a given
+cycle, the frame occupies the medium for
+``preamble + collision_detect + payload`` cycles, at the end of which every
+node on the chip receives it. If two or more nodes start in the same cycle,
+they discover the collision in the collision-detect slot, abort, and retry
+after an exponential backoff (:class:`~repro.wireless.brs.BackoffPolicy`).
+
+*Selective jamming* (paper Section III-C1): a directory that is mid-transition
+for a line registers that line address with the channel; any frame for a
+jammed line is negative-acked in the collision-detect slot exactly as if it
+had collided, so the sender backs off and retries. An optional partial-address
+mask models the paper's "false positives" (only some address bits visible in
+the first cycle).
+
+*Serialization point* (paper Section IV-C): the moment a frame survives the
+collision-detect slot it is guaranteed to transmit. The channel invokes the
+request's ``on_commit`` callback at that cycle — this is when a wireless
+write may merge into the local cache — and delivers the broadcast to all
+receivers when the payload finishes.
+
+Requests are cancellable until their commit point, which the wireless-RMW
+implementation relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.config.system import WirelessConfig
+from repro.engine.rng import DeterministicRng
+from repro.engine.simulator import Simulator
+from repro.stats.collectors import StatsRegistry
+from repro.wireless.brs import BackoffPolicy
+from repro.wireless.frames import WirelessFrame
+
+
+class TransmitRequest:
+    """One node's attempt to broadcast one frame.
+
+    Attributes
+    ----------
+    frame:
+        The frame to send.
+    on_commit:
+        Called at the serialization point (frame guaranteed to transmit).
+    on_delivered:
+        Called when the payload completes, after all receivers were invoked.
+    """
+
+    __slots__ = (
+        "frame",
+        "on_commit",
+        "on_delivered",
+        "ready_time",
+        "failures",
+        "cancelled",
+        "committed",
+    )
+
+    def __init__(
+        self,
+        frame: WirelessFrame,
+        on_commit: Optional[Callable[[], None]],
+        on_delivered: Optional[Callable[[], None]],
+        ready_time: int,
+    ) -> None:
+        self.frame = frame
+        self.on_commit = on_commit
+        self.on_delivered = on_delivered
+        self.ready_time = ready_time
+        self.failures = 0
+        self.cancelled = False
+        self.committed = False
+
+    def cancel(self) -> bool:
+        """Withdraw the frame; returns False if it already committed."""
+        if self.committed:
+            return False
+        self.cancelled = True
+        return True
+
+
+class WirelessDataChannel:
+    """Single shared 60 GHz broadcast medium with BRS arbitration."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: WirelessConfig,
+        num_nodes: int,
+        stats: StatsRegistry,
+        rng: DeterministicRng,
+        jam_address_bits: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.num_nodes = num_nodes
+        self.stats = stats
+        #: Bits of the line address visible in the preamble for jam matching;
+        #: None means exact matching (no false positives).
+        self.jam_address_bits = jam_address_bits
+        self._receivers: Dict[int, Callable[[WirelessFrame], None]] = {}
+        self._pending: List[TransmitRequest] = []
+        #: Lines whose data updates (jammable frames) are being NACKed.
+        #: Directory transition frames pass regardless (frame.jammable).
+        self._jammed_lines: Set[int] = set()
+        self._busy_until = 0
+        self._arbitration_scheduled_at: Optional[int] = None
+        self._backoff = [
+            BackoffPolicy(
+                config.backoff_base_cycles,
+                config.backoff_max_exponent,
+                rng.split(f"backoff-{node}"),
+            )
+            for node in range(num_nodes)
+        ]
+        self._attempts = stats.counter("wnoc.attempts")
+        self._successes = stats.counter("wnoc.frames")
+        self._collisions = stats.counter("wnoc.collisions")
+        self._jams = stats.counter("wnoc.jams")
+        self._cancellations = stats.counter("wnoc.cancellations")
+        self._busy_cycles = stats.counter("wnoc.busy_cycles")
+
+    # ------------------------------------------------------------------ API
+
+    def register_receiver(
+        self, node: int, handler: Callable[[WirelessFrame], None]
+    ) -> None:
+        """Attach the tile-side receive callback for ``node``.
+
+        Every successful frame is delivered to *every* registered node,
+        including the sender's own tile (whose directory slice may need it).
+        """
+        self._receivers[node] = handler
+
+    def transmit(
+        self,
+        frame: WirelessFrame,
+        on_commit: Optional[Callable[[], None]] = None,
+        on_delivered: Optional[Callable[[], None]] = None,
+    ) -> TransmitRequest:
+        """Queue ``frame`` for broadcast; returns a cancellable handle."""
+        request = TransmitRequest(frame, on_commit, on_delivered, self.sim.now)
+        self._pending.append(request)
+        self._schedule_arbitration(self.sim.now)
+        return request
+
+    def jam(self, line: int, owner: int = -1) -> None:
+        """Begin jamming data updates addressed to ``line`` (directory busy).
+
+        Only *jammable* frames (cores' WirUpd) are affected; the jamming
+        directory's own transition broadcasts always pass. ``owner`` is
+        accepted for API symmetry and diagnostics only.
+        """
+        self._jammed_lines.add(line)
+
+    def unjam(self, line: int) -> None:
+        """Stop jamming ``line``; pending senders will succeed on retry."""
+        self._jammed_lines.discard(line)
+
+    def is_jammed(self, line: int) -> bool:
+        """Would a jammable frame for ``line`` be NACKed right now?"""
+        if self.jam_address_bits is None:
+            return line in self._jammed_lines
+        mask = (1 << self.jam_address_bits) - 1
+        return any((line & mask) == (jammed & mask) for jammed in self._jammed_lines)
+
+    @property
+    def collision_probability(self) -> float:
+        """Fraction of transmission attempts that ended in a collision."""
+        attempts = self._attempts.value
+        return self._collisions.value / attempts if attempts else 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self.sim.now >= self._busy_until and not self._pending
+
+    # ----------------------------------------------------------- internals
+
+    def _schedule_arbitration(self, at: int) -> None:
+        at = max(at, self._busy_until, self.sim.now)
+        if self._arbitration_scheduled_at is not None and (
+            self._arbitration_scheduled_at <= at
+        ):
+            return
+        self._arbitration_scheduled_at = at
+        self.sim.schedule_at(at, self._arbitrate)
+
+    def _arbitrate(self) -> None:
+        self._arbitration_scheduled_at = None
+        now = self.sim.now
+        if now < self._busy_until:
+            self._schedule_arbitration(self._busy_until)
+            return
+        self._pending = [r for r in self._pending if not r.cancelled]
+        if not self._pending:
+            return
+        contenders = [r for r in self._pending if r.ready_time <= now]
+        if not contenders:
+            self._schedule_arbitration(min(r.ready_time for r in self._pending))
+            return
+
+        config = self.config
+        header = config.preamble_cycles + config.collision_detect_cycles
+        for request in contenders:
+            self._attempts.add()
+
+        if len(contenders) > 1:
+            # Simultaneous preambles: all discover the collision and back off.
+            self._collisions.add(len(contenders))
+            self._busy_until = now + header
+            self._busy_cycles.add(header)
+            for request in contenders:
+                self._back_off(request)
+            self._schedule_arbitration(self._busy_until)
+            return
+
+        request = contenders[0]
+        if request.frame.jammable and self.is_jammed(request.frame.line):
+            # The jamming directory NACKs in the collision-detect slot; the
+            # sender cannot tell this from a real collision.
+            self._jams.add()
+            self._busy_until = now + header
+            self._busy_cycles.add(header)
+            self._back_off(request)
+            self._schedule_arbitration(self._busy_until)
+            return
+
+        # Sole uncontended transmitter: the frame will complete. Remove it
+        # from the pending list *now* — a stale arbitration event firing at
+        # the end-of-frame cycle (before the finish event) must not see it
+        # as a contender and transmit it twice.
+        self._remove_pending(request)
+        self._busy_until = now + config.frame_cycles
+        self._busy_cycles.add(config.frame_cycles)
+        self.sim.schedule_at(now + header, lambda: self._commit(request))
+        self.sim.schedule_at(self._busy_until, lambda: self._finish(request))
+        if self._pending:
+            self._schedule_arbitration(self._busy_until)
+
+    def _back_off(self, request: TransmitRequest) -> None:
+        request.failures += 1
+        policy = self._backoff[request.frame.src % self.num_nodes]
+        delay = policy.delay_for_attempt(request.failures)
+        header = self.config.preamble_cycles + self.config.collision_detect_cycles
+        request.ready_time = self.sim.now + header + delay
+
+    def _commit(self, request: TransmitRequest) -> None:
+        """Serialization point: the frame is now guaranteed to transmit."""
+        if request.cancelled:
+            # Cancelled between arbitration and commit: the transmission is
+            # squashed; the medium reservation stands (the slot is wasted).
+            self._cancellations.add()
+            return
+        request.committed = True
+        if request.on_commit is not None:
+            request.on_commit()
+
+    def _finish(self, request: TransmitRequest) -> None:
+        if not request.committed:
+            self._schedule_arbitration(self.sim.now)
+            return
+        self._successes.add()
+        for handler in self._receivers.values():
+            handler(request.frame)
+        if request.on_delivered is not None:
+            request.on_delivered()
+        self._schedule_arbitration(self.sim.now)
+
+    def _remove_pending(self, request: TransmitRequest) -> None:
+        try:
+            self._pending.remove(request)
+        except ValueError:
+            pass

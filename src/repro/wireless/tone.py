@@ -1,0 +1,96 @@
+"""The 90 GHz tone channel and the ToneAck primitive.
+
+ToneAck (paper Section III-C2): when a directory broadcasts a frame that
+requires a global acknowledgment, every *other* node raises a continuous tone
+on the tone channel, performs its local task, and then drops its tone. The
+initiator simply monitors the channel; silence means every node has finished.
+
+The model keeps one :class:`ToneAckOperation` per outstanding global ack
+(in practice the protocol allows one at a time per line, enforced by
+jamming). A node's "raise then drop" collapses to decrementing a participant
+count when its task completes; the operation fires its callback
+``tone_cycles`` after the last participant drops (the latency to detect
+silence, Table III: 1 cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set
+
+from repro.engine.simulator import Simulator
+from repro.stats.collectors import StatsRegistry
+
+
+class ToneAckOperation:
+    """One in-flight global acknowledgment."""
+
+    __slots__ = ("key", "remaining", "on_silent", "_channel")
+
+    def __init__(
+        self,
+        key: int,
+        participants: Set[int],
+        on_silent: Callable[[], None],
+        channel: "ToneChannel",
+    ) -> None:
+        self.key = key
+        self.remaining = set(participants)
+        self.on_silent = on_silent
+        self._channel = channel
+
+    def drop(self, node: int) -> None:
+        """Node ``node`` finished its task and removes its tone."""
+        self.remaining.discard(node)
+        if not self.remaining:
+            self._channel._complete(self)
+
+    @property
+    def silent(self) -> bool:
+        return not self.remaining
+
+
+class ToneChannel:
+    """Bookkeeping for ToneAck operations on the 90 GHz channel."""
+
+    def __init__(self, sim: Simulator, tone_cycles: int, stats: StatsRegistry) -> None:
+        self.sim = sim
+        self.tone_cycles = tone_cycles
+        self._operations: Dict[int, ToneAckOperation] = {}
+        self._started = stats.counter("tone.operations")
+        self._drops = stats.counter("tone.drops")
+
+    def begin(
+        self, key: int, participants: Set[int], on_silent: Callable[[], None]
+    ) -> ToneAckOperation:
+        """Start a ToneAck keyed by ``key`` (the line address).
+
+        ``participants`` is the set of nodes expected to raise a tone — in
+        the paper, all nodes except the initiator. If it is empty, the
+        channel is already silent and the callback fires after the detection
+        latency.
+        """
+        if key in self._operations:
+            raise KeyError(f"ToneAck already in flight for key 0x{key:x}")
+        self._started.add()
+        operation = ToneAckOperation(key, participants, on_silent, self)
+        self._operations[key] = operation
+        if operation.silent:
+            self._complete(operation)
+        return operation
+
+    def drop(self, key: int, node: int) -> None:
+        """Node ``node`` drops its tone for the operation keyed ``key``."""
+        operation = self._operations.get(key)
+        if operation is None:
+            return  # late drop after completion: harmless, tone already off
+        self._drops.add()
+        operation.drop(node)
+
+    def in_flight(self, key: int) -> bool:
+        return key in self._operations
+
+    def _complete(self, operation: ToneAckOperation) -> None:
+        if self._operations.get(operation.key) is not operation:
+            return
+        del self._operations[operation.key]
+        self.sim.schedule(self.tone_cycles, operation.on_silent)

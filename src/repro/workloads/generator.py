@@ -1,0 +1,154 @@
+"""Trace synthesis: profile -> per-core operation traces.
+
+``build_traces`` is a pure function of (profile, num_cores, length, seed):
+the same inputs always yield the same traces, so the Baseline and WiDir
+machines are driven by *identical* reference streams and their cycle counts
+are directly comparable.
+
+A trace is organized into ``profile.phases`` barrier-separated phases. Inside
+a phase, each memory-reference slot draws an access class from the profile's
+fractions (private-hot / private-streaming / shared / migratory), lock
+sections are interleaved every ``lock_interval`` references, and geometric
+think gaps between references realize the profile's memory intensity.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.trace import TraceOp
+from repro.engine.rng import DeterministicRng
+from repro.workloads.layout import AddressLayout
+from repro.workloads.patterns import (
+    emit_barrier_episode,
+    emit_hot_access,
+    emit_lock_section,
+    emit_migratory_access,
+    emit_shared_access,
+    emit_streaming_access,
+    emit_think,
+)
+from repro.workloads.profiles import AppProfile
+
+
+def _pick_group_size(profile: AppProfile, rng: DeterministicRng) -> int:
+    weights = profile.sharing_weights()
+    if not weights:
+        return 8
+    roll = rng.random()
+    cumulative = 0.0
+    for size, weight in weights.items():
+        cumulative += weight
+        if roll < cumulative:
+            return size
+    return next(reversed(weights))
+
+
+def build_core_trace(
+    profile: AppProfile,
+    core: int,
+    num_cores: int,
+    memops: int,
+    seed: int = 0,
+) -> List[TraceOp]:
+    """Synthesize one core's trace with ``memops`` memory-reference slots."""
+    rng = DeterministicRng(seed).split(f"{profile.name}-core{core}")
+    layout = AddressLayout(num_cores)
+    ops: List[TraceOp] = []
+    think_mean = max(1, round((1.0 - profile.mem_ratio) / max(profile.mem_ratio, 1e-6)))
+    phases = max(1, profile.phases)
+    per_phase = max(1, memops // phases)
+    cold_cursor = [core * 17]  # de-correlate the streaming walks across cores
+    since_lock = rng.randint(0, profile.lock_interval) if profile.lock_interval else 0
+    # A shared visit emits `burst` references, so the per-visit roll must be
+    # deflated for `shared_fraction` to hold as a fraction of *references*:
+    # p = f / (b*(1-f) + f).
+    f = profile.shared_fraction
+    b = max(1, profile.shared_burst)
+    shared_roll = f / (b * (1.0 - f) + f) if f > 0 else 0.0
+
+    for phase in range(phases):
+        emitted = 0
+        while emitted < per_phase:
+            emitted += 1
+            emit_think(ops, rng, think_mean)
+            roll = rng.random()
+            if roll < shared_roll:
+                if (
+                    profile.migratory_fraction > 0.0
+                    and rng.random() < profile.migratory_fraction
+                ):
+                    emit_migratory_access(
+                        ops, rng, layout, core, cold_cursor[0], profile.shared_words
+                    )
+                    emitted += 1  # migratory visits emit two references
+                else:
+                    emitted += emit_shared_access(
+                        ops,
+                        rng,
+                        layout,
+                        core,
+                        _pick_group_size(profile, rng),
+                        profile.shared_words,
+                        profile.shared_write_fraction,
+                        profile.shared_burst,
+                    ) - 1
+            elif roll < shared_roll + profile.cold_fraction:
+                emit_streaming_access(
+                    ops, layout, core, cold_cursor, profile.cold_region_lines
+                )
+            else:
+                emit_hot_access(
+                    ops,
+                    rng,
+                    layout,
+                    core,
+                    profile.hot_words,
+                    write=rng.random() < profile.write_fraction,
+                )
+            if profile.lock_interval:
+                since_lock += 1
+                if since_lock >= profile.lock_interval:
+                    since_lock = 0
+                    emit_lock_section(
+                        ops,
+                        rng,
+                        layout,
+                        rng.randint(0, max(0, profile.locks - 1)),
+                        profile.lock_spin_reads,
+                        profile.lock_critical_ops,
+                    )
+        emit_barrier_episode(ops, layout, phase, profile.barrier_spin_reads)
+
+    _apply_blocking_fractions(ops, rng, profile.load_block_fraction)
+    return ops
+
+
+def _apply_blocking_fractions(
+    ops: List[TraceOp], rng: DeterministicRng, block_fraction: float
+) -> None:
+    """Mark the profile's fraction of *private* loads as use-dependent.
+
+    Shared-data, lock, and barrier loads stay blocking unconditionally:
+    reads of shared structures feed immediate uses (pointer dereferences,
+    flag tests), which is precisely why the paper's coherence misses sit on
+    the critical path.
+    """
+    from repro.workloads.layout import SHARED_BASE
+
+    for op in ops:
+        if op.kind == "load" and op.blocking and op.address < SHARED_BASE:
+            op.blocking = rng.random() < block_fraction
+
+
+def build_traces(
+    profile: AppProfile,
+    num_cores: int,
+    memops_per_core: int,
+    seed: int = 0,
+) -> List[List[TraceOp]]:
+    """Build the whole machine's traces (one list per core)."""
+    return [
+        build_core_trace(profile, core, num_cores, memops_per_core, seed)
+        for core in range(num_cores)
+    ]

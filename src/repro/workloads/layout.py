@@ -1,0 +1,80 @@
+"""Address-space geometry for synthetic workloads.
+
+All generators draw addresses through this class so regions can never
+overlap and tests can reason about which region an address belongs to.
+Word granularity is 8 bytes (the wireless update unit).
+"""
+
+from __future__ import annotations
+
+WORD = 8
+LINE = 64
+
+#: Region bases (generous gaps; the backing store is sparse).
+PRIVATE_BASE = 0x1000_0000
+PRIVATE_SPAN = 0x0010_0000       # 1 MiB of private address space per core
+COLD_OFFSET = 0x0008_0000        # streaming region inside the private span
+SHARED_BASE = 0x4000_0000
+SHARED_GROUP_SPAN = 0x0004_0000  # per sharing-group region
+LOCK_BASE = 0x7000_0000
+BARRIER_BASE = 0x7800_0000
+
+#: L1-set skew per region. Region bases are large powers of two, so without
+#: a skew every region's first lines land in L1 sets 0..7 and fight for the
+#: same two ways — an artificial conflict-thrash no real allocator produces.
+#: Offsetting each region into a different band of a 512-set L1 keeps the
+#: hot set, shared data, locks, and barriers in disjoint conflict domains.
+SHARED_SET_SKEW = 128 * LINE
+LOCK_SET_SKEW = 256 * LINE
+BARRIER_SET_SKEW = 384 * LINE
+
+
+class AddressLayout:
+    """Computes the fixed addresses used by the pattern emitters."""
+
+    def __init__(self, num_cores: int) -> None:
+        self.num_cores = num_cores
+
+    def private_hot(self, core: int, index: int) -> int:
+        """``index``-th word of the core's hot working set."""
+        return PRIVATE_BASE + core * PRIVATE_SPAN + index * WORD
+
+    def private_cold(self, core: int, line_index: int) -> int:
+        """``line_index``-th line of the core's streaming (cold) region."""
+        return (
+            PRIVATE_BASE + core * PRIVATE_SPAN + COLD_OFFSET + line_index * LINE
+        )
+
+    def shared_word(self, group_size: int, group_id: int, index: int) -> int:
+        """A word in the region shared by one group of ``group_size`` cores.
+
+        Groups of different sizes live in disjoint regions (keyed by the
+        size), so an application mixing 8-way and 64-way sharing touches
+        distinct lines for each.
+        """
+        region = SHARED_BASE + group_size * 0x0100_0000 + group_id * SHARED_GROUP_SPAN
+        return region + SHARED_SET_SKEW + index * WORD
+
+    def lock(self, lock_id: int) -> int:
+        """A globally shared lock word (its own line).
+
+        Locks are spaced two lines apart: the word after the lock's line
+        (see :meth:`lock_data`) holds the data it guards. Padding them onto
+        separate lines mirrors real tuned code and keeps critical-section
+        stores from cancelling other cores' in-flight lock RMWs (the
+        wireless RMW monitor watches the lock's *line*).
+        """
+        return LOCK_BASE + LOCK_SET_SKEW + lock_id * 2 * LINE
+
+    def lock_data(self, lock_id: int, index: int) -> int:
+        """A word of the data guarded by ``lock_id`` (the line after it)."""
+        return self.lock(lock_id) + LINE + (index % 8) * WORD
+
+    def barrier_word(self, phase: int) -> int:
+        """The barrier counter word for one program phase (its own line)."""
+        return BARRIER_BASE + BARRIER_SET_SKEW + phase * LINE
+
+    def group_of(self, core: int, group_size: int) -> int:
+        """Which sharing group a core belongs to for a given group size."""
+        size = min(group_size, self.num_cores)
+        return core // size

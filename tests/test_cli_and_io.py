@@ -1,0 +1,94 @@
+"""Tests for the CLI and result serialization."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import widir_config
+from repro.harness.results_io import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.harness.runner import run_app
+
+
+@pytest.fixture(scope="module")
+def sample_result():
+    return run_app("volrend", widir_config(num_cores=8), 200)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_metrics(self, sample_result):
+        restored = result_from_dict(result_to_dict(sample_result))
+        assert restored.cycles == sample_result.cycles
+        assert restored.mpki == sample_result.mpki
+        assert restored.sharer_histogram == sample_result.sharer_histogram
+        assert restored.energy.total == sample_result.energy.total
+        assert restored.config.protocol == "widir"
+        assert restored.config.num_cores == 8
+
+    def test_dict_is_json_serializable(self, sample_result):
+        text = json.dumps(result_to_dict(sample_result))
+        assert "volrend" in text
+
+    def test_save_and_load_file(self, sample_result, tmp_path):
+        path = tmp_path / "results.json"
+        save_results({"volrend/widir/8": sample_result}, path)
+        loaded = load_results(path)
+        assert set(loaded) == {"volrend/widir/8"}
+        assert loaded["volrend/widir/8"].cycles == sample_result.cycles
+
+
+class TestCli:
+    def test_run_command(self, capsys):
+        assert main(["run", "volrend", "--cores", "8", "--memops", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "L1 MPKI" in out
+        assert "wireless writes" in out
+
+    def test_run_json_output(self, capsys):
+        assert main(
+            ["run", "volrend", "--cores", "8", "--memops", "150", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "volrend"
+        assert payload["cycles"] > 0
+
+    def test_run_baseline_protocol(self, capsys):
+        assert main(
+            ["run", "volrend", "--protocol", "baseline", "--cores", "8",
+             "--memops", "150"]
+        ) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "volrend", "--cores", "8", "--memops", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "WiDir speedup" in out
+        assert "energy ratio" in out
+
+    def test_figure_command(self, capsys):
+        assert main(
+            ["figure", "table5", "--apps", "volrend", "--cores", "16",
+             "--memops", "150"]
+        ) == 0
+        assert "Table V" in capsys.readouterr().out
+
+    def test_figure_rejects_unknown_app(self, capsys):
+        assert main(
+            ["figure", "fig6", "--apps", "doom", "--cores", "8", "--memops", "100"]
+        ) == 2
+        assert "unknown apps" in capsys.readouterr().err
+
+    def test_apps_command_lists_all_twenty(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("splash3") == 13
+        assert out.count("parsec") == 7
+
+    def test_unknown_app_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "doom"])

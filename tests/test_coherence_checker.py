@@ -1,0 +1,113 @@
+"""Tests for the global coherence invariant checker itself.
+
+The checker is load-bearing test infrastructure: these tests confirm it
+actually *catches* violations when they are planted, so a green suite means
+something.
+"""
+
+import pytest
+
+from repro.coherence.checker import CoherenceChecker
+from repro.config import baseline_config, widir_config
+from repro.engine.errors import ProtocolError
+from repro.system import Manycore
+
+
+def quiesced_machine(protocol="baseline", cores=4):
+    make = widir_config if protocol == "widir" else baseline_config
+    machine = Manycore(make(num_cores=cores))
+    done = []
+    machine.caches[0].store(0x8000, 5, lambda: done.append(1))
+    machine.run(max_events=1_000_000)
+    machine.caches[1].load(0x8000, lambda v: done.append(v))
+    machine.run(max_events=1_000_000)
+    assert done == [1, 5]
+    return machine
+
+
+class TestCleanMachinePasses:
+    def test_baseline_passes(self):
+        quiesced_machine("baseline").check_coherence()
+
+    def test_widir_passes(self):
+        quiesced_machine("widir").check_coherence()
+
+    def test_empty_machine_passes(self):
+        Manycore(widir_config(num_cores=4)).check_coherence()
+
+
+class TestPlantedViolationsAreCaught:
+    def test_double_exclusive_caught(self):
+        machine = quiesced_machine()
+        line = machine.amap.line_of(0x8000)
+        # Both caches hold S; forge one into M.
+        machine.caches[1].array.lookup(line).state = "M"
+        with pytest.raises(ProtocolError, match="SWMR"):
+            machine.check_coherence()
+
+    def test_exclusive_plus_sharer_caught(self):
+        machine = quiesced_machine()
+        line = machine.amap.line_of(0x8000)
+        machine.caches[0].array.lookup(line).state = "E"
+        with pytest.raises(ProtocolError, match="SWMR"):
+            machine.check_coherence()
+
+    def test_untracked_sharer_caught(self):
+        machine = quiesced_machine()
+        line = machine.amap.line_of(0x8000)
+        home = machine.amap.home_of(line)
+        entry = machine.directories[home].array.lookup(line, touch=False)
+        entry.sharers.discard(1)  # forget a genuine sharer
+        with pytest.raises(ProtocolError, match="misses sharers"):
+            machine.check_coherence()
+
+    def test_wrong_owner_caught(self):
+        machine = Manycore(baseline_config(num_cores=4))
+        done = []
+        machine.caches[0].store(0x8000, 5, lambda: done.append(1))
+        machine.run(max_events=1_000_000)
+        line = machine.amap.line_of(0x8000)
+        home = machine.amap.home_of(line)
+        machine.directories[home].array.lookup(line, touch=False).owner = 2
+        with pytest.raises(ProtocolError, match="owner"):
+            machine.check_coherence()
+
+    def test_divergent_shared_values_caught(self):
+        machine = quiesced_machine()
+        line = machine.amap.line_of(0x8000)
+        machine.caches[1].array.lookup(line).data[0] = 999_999
+        with pytest.raises(ProtocolError, match="divergent"):
+            machine.check_coherence()
+
+    def test_w_count_less_than_holders_caught(self):
+        machine = Manycore(widir_config(num_cores=8))
+        for core in range(5):
+            out = []
+            machine.caches[core].load(0x8000, out.append)
+            machine.run(max_events=5_000_000)
+        line = machine.amap.line_of(0x8000)
+        home = machine.amap.home_of(line)
+        entry = machine.directories[home].array.lookup(line, touch=False)
+        assert entry.state == "W"
+        entry.sharer_count = 2  # fewer than the 5 actual holders
+        with pytest.raises(ProtocolError, match="counts"):
+            machine.check_coherence()
+
+    def test_busy_entries_exempt_from_accuracy(self):
+        """Directory accuracy only holds at quiescence; busy entries skip."""
+        machine = quiesced_machine()
+        line = machine.amap.line_of(0x8000)
+        home = machine.amap.home_of(line)
+        entry = machine.directories[home].array.lookup(line, touch=False)
+        entry.sharers.discard(1)
+        entry.busy = True  # mid-transaction: checker must not flag it
+        machine.checker.check(quiescent=True)
+
+    def test_non_quiescent_mode_checks_swmr_only(self):
+        machine = quiesced_machine()
+        line = machine.amap.line_of(0x8000)
+        home = machine.amap.home_of(line)
+        machine.directories[home].array.lookup(line, touch=False).sharers.clear()
+        machine.checker.check(quiescent=False)  # accuracy skipped
+        with pytest.raises(ProtocolError):
+            machine.checker.check(quiescent=True)

@@ -1,0 +1,149 @@
+"""Tests for the Dir_i_CV_r coarse-vector directory overflow scheme."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import baseline_config, widir_config
+from repro.config.system import DirectoryConfig
+from repro.engine.errors import ConfigurationError
+from repro.coherence.directory import DirectoryEntry
+from repro.system import Manycore
+
+ADDR = 0x0004_0000
+
+
+def coarse_config(cores=16, region=4, protocol="baseline"):
+    make = widir_config if protocol == "widir" else baseline_config
+    config = make(num_cores=cores)
+    return replace(
+        config,
+        directory=replace(
+            config.directory, scheme="DirCV", coarse_region_size=region
+        ),
+    )
+
+
+def do_load(machine, core, address=ADDR):
+    out = []
+    machine.caches[core].load(address, out.append)
+    machine.run(max_events=20_000_000)
+    return out[0]
+
+
+def do_store(machine, core, value, address=ADDR):
+    done = []
+    machine.caches[core].store(address, value, lambda: done.append(True))
+    machine.run(max_events=20_000_000)
+    assert done
+
+
+def dir_entry(machine, address=ADDR):
+    line = machine.amap.line_of(address)
+    return machine.directories[machine.amap.home_of(line)].array.lookup(
+        line, touch=False
+    )
+
+
+class TestEntrySemantics:
+    def test_coarse_regions_expand_to_cores(self):
+        entry = DirectoryEntry(0x40)
+        entry.coarse_regions = {0, 3}
+        targets = entry.known_sharers(16, coarse_region_size=4)
+        assert targets == [0, 1, 2, 3, 12, 13, 14, 15]
+
+    def test_coarse_regions_clamp_to_machine(self):
+        entry = DirectoryEntry(0x40)
+        entry.coarse_regions = {1}
+        targets = entry.known_sharers(6, coarse_region_size=4)
+        assert targets == [4, 5]
+
+    def test_exclude_applies_to_coarse_targets(self):
+        entry = DirectoryEntry(0x40)
+        entry.coarse_regions = {0}
+        assert entry.known_sharers(8, exclude=1, coarse_region_size=4) == [0, 2, 3]
+
+    def test_broadcast_takes_precedence(self):
+        entry = DirectoryEntry(0x40)
+        entry.broadcast = True
+        entry.coarse_regions = {0}
+        assert entry.known_sharers(8, coarse_region_size=4) == list(range(8))
+
+    def test_clear_imprecision_resets_both(self):
+        entry = DirectoryEntry(0x40)
+        entry.broadcast = True
+        entry.coarse_regions = {1, 2}
+        entry.clear_imprecision()
+        assert not entry.broadcast
+        assert not entry.coarse_regions
+
+
+class TestConfig:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DirectoryConfig(scheme="DirMagic").validate()
+
+    def test_coarse_region_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            DirectoryConfig(scheme="DirCV", coarse_region_size=0).validate()
+
+    def test_coarse_config_builds(self):
+        coarse_config().validate()
+
+
+class TestProtocolBehaviour:
+    def test_overflow_populates_regions_not_broadcast(self):
+        machine = Manycore(coarse_config(cores=16, region=4))
+        for core in (0, 1, 5, 9, 13):  # 5 sharers > 3 pointers
+            do_load(machine, core)
+        entry = dir_entry(machine)
+        assert not entry.broadcast
+        assert entry.coarse_regions == {0, 1, 2, 3}
+
+    def test_invalidation_targets_marked_regions_only(self):
+        machine = Manycore(coarse_config(cores=16, region=4))
+        for core in (0, 1, 2, 3, 5):  # regions 0 and 1 only
+            do_load(machine, core)
+        entry = dir_entry(machine)
+        assert entry.coarse_regions == {0, 1}
+        before = machine.stats.get_counter("dir.total.invalidations_sent")
+        do_store(machine, 0, 42)
+        sent = machine.stats.get_counter("dir.total.invalidations_sent") - before
+        # 8 region cores minus the requester — not the whole 16-core machine.
+        assert sent == 7
+        machine.check_coherence()
+
+    def test_correctness_matches_dir_b(self):
+        """Both overflow schemes must compute identical values."""
+        for config in (
+            baseline_config(num_cores=16),
+            coarse_config(cores=16, region=4),
+        ):
+            machine = Manycore(config)
+            for core in range(8):
+                do_load(machine, core)
+            do_store(machine, 3, 999)
+            for core in range(8):
+                assert do_load(machine, core) == 999
+            machine.check_coherence()
+
+    def test_coarse_vector_with_widir_protocol(self):
+        """The paper: WiDir adapts to Dir_i_CV_r as well (Section III-B)."""
+        machine = Manycore(coarse_config(cores=16, region=4, protocol="widir"))
+        for core in range(5):
+            do_load(machine, core)
+        entry = dir_entry(machine)
+        assert entry.state == "W"  # the threshold fires before overflow
+        do_store(machine, 0, 31)
+        assert do_load(machine, 4) == 31
+        machine.check_coherence()
+
+    def test_regions_cleared_after_exclusive_grant(self):
+        machine = Manycore(coarse_config(cores=16, region=4))
+        for core in (0, 4, 8, 12):
+            do_load(machine, core)
+        assert dir_entry(machine).coarse_regions
+        do_store(machine, 0, 1)
+        entry = dir_entry(machine)
+        assert entry.state == "E"
+        assert not entry.coarse_regions

@@ -1,0 +1,221 @@
+"""Unit tests for the wired MESI Dir_i_B protocol on small machines.
+
+These exercise individual transitions end-to-end through the real
+Manycore (caches, directory, mesh, memory), with direct access calls rather
+than CPU cores, so each test pins down one protocol behaviour.
+"""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.system import Manycore
+
+
+ADDR = 0x0001_0000
+
+
+def make_machine(cores=4):
+    return Manycore(baseline_config(num_cores=cores))
+
+
+def do_load(machine, core, address):
+    out = []
+    machine.caches[core].load(address, out.append)
+    machine.run(max_events=1_000_000)
+    return out[0]
+
+
+def do_store(machine, core, address, value):
+    done = []
+    machine.caches[core].store(address, value, lambda: done.append(True))
+    machine.run(max_events=1_000_000)
+    assert done
+
+
+def do_rmw(machine, core, address):
+    out = []
+    machine.caches[core].rmw(address, out.append)
+    machine.run(max_events=1_000_000)
+    return out[0]
+
+
+def line_state(machine, core, address):
+    entry = machine.caches[core].array.lookup(
+        machine.amap.line_of(address), touch=False
+    )
+    return entry.state if entry else "I"
+
+
+def dir_entry(machine, address):
+    line = machine.amap.line_of(address)
+    home = machine.amap.home_of(line)
+    return machine.directories[home].array.lookup(line, touch=False)
+
+
+class TestColdMisses:
+    def test_first_read_grants_exclusive(self):
+        machine = make_machine()
+        assert do_load(machine, 0, ADDR) == 0
+        assert line_state(machine, 0, ADDR) == "E"
+        assert dir_entry(machine, ADDR).state == "E"
+        machine.check_coherence()
+
+    def test_first_write_grants_exclusive_then_modified(self):
+        machine = make_machine()
+        do_store(machine, 0, ADDR, 99)
+        assert line_state(machine, 0, ADDR) == "M"
+        assert do_load(machine, 0, ADDR) == 99
+        machine.check_coherence()
+
+    def test_memory_backs_uncached_lines(self):
+        machine = make_machine()
+        machine.memory.write_word(machine.amap.line_of(ADDR), 0, 1234)
+        assert do_load(machine, 0, ADDR) == 1234
+
+
+class TestReadSharing:
+    def test_second_reader_downgrades_owner(self):
+        machine = make_machine()
+        do_store(machine, 0, ADDR, 7)
+        assert do_load(machine, 1, ADDR) == 7
+        assert line_state(machine, 0, ADDR) == "S"
+        assert line_state(machine, 1, ADDR) == "S"
+        entry = dir_entry(machine, ADDR)
+        assert entry.state == "S"
+        assert entry.sharers == {0, 1}
+        machine.check_coherence()
+
+    def test_many_readers_accumulate_in_sharer_set(self):
+        machine = make_machine()
+        for core in range(4):
+            do_load(machine, core, ADDR)
+        assert dir_entry(machine, ADDR).sharers == {0, 1, 2, 3}
+        machine.check_coherence()
+
+    def test_dirty_data_flows_through_forward(self):
+        machine = make_machine()
+        do_store(machine, 2, ADDR, 555)
+        assert do_load(machine, 3, ADDR) == 555
+        # The forward also freshened the LLC copy.
+        assert dir_entry(machine, ADDR).data.get(0) == 555
+
+
+class TestWriteInvalidation:
+    def test_write_invalidates_all_sharers(self):
+        machine = make_machine()
+        for core in range(4):
+            do_load(machine, core, ADDR)
+        do_store(machine, 0, ADDR, 42)
+        assert line_state(machine, 0, ADDR) == "M"
+        for core in (1, 2, 3):
+            assert line_state(machine, core, ADDR) == "I"
+        machine.check_coherence()
+
+    def test_upgrade_without_data_transfer(self):
+        machine = make_machine()
+        do_load(machine, 0, ADDR)
+        do_load(machine, 1, ADDR)
+        do_store(machine, 1, ADDR, 5)  # upgrade: GrantX path
+        assert line_state(machine, 1, ADDR) == "M"
+        assert line_state(machine, 0, ADDR) == "I"
+
+    def test_write_miss_steals_from_owner(self):
+        machine = make_machine()
+        do_store(machine, 0, ADDR, 1)
+        do_store(machine, 1, ADDR, 2)  # FwdGetX path
+        assert line_state(machine, 0, ADDR) == "I"
+        assert line_state(machine, 1, ADDR) == "M"
+        assert do_load(machine, 1, ADDR) == 2
+
+    def test_readers_after_write_see_new_value(self):
+        machine = make_machine()
+        for core in range(4):
+            do_load(machine, core, ADDR)
+        do_store(machine, 3, ADDR, 77)
+        for core in range(4):
+            assert do_load(machine, core, ADDR) == 77
+        machine.check_coherence()
+
+
+class TestBroadcastBit:
+    def test_pointer_overflow_sets_broadcast(self):
+        machine = make_machine(cores=8)
+        for core in range(5):  # Dir_3_B: 3 pointers
+            do_load(machine, core, ADDR)
+        entry = dir_entry(machine, ADDR)
+        assert entry.broadcast
+        # A write must still invalidate everyone correctly.
+        do_store(machine, 7, ADDR, 9)
+        for core in range(5):
+            assert line_state(machine, core, ADDR) == "I"
+        assert not dir_entry(machine, ADDR).broadcast
+        machine.check_coherence()
+
+
+class TestEvictions:
+    def test_clean_eviction_notifies_directory(self):
+        machine = make_machine()
+        do_load(machine, 0, ADDR)
+        do_load(machine, 1, ADDR)
+        victim = machine.caches[0].array.lookup(machine.amap.line_of(ADDR))
+        machine.caches[0]._evict(victim)
+        machine.run(max_events=100_000)
+        assert dir_entry(machine, ADDR).sharers == {1}
+        machine.check_coherence()
+
+    def test_dirty_eviction_writes_back(self):
+        machine = make_machine()
+        do_store(machine, 0, ADDR, 31)
+        victim = machine.caches[0].array.lookup(machine.amap.line_of(ADDR))
+        machine.caches[0]._evict(victim)
+        machine.run(max_events=100_000)
+        entry = dir_entry(machine, ADDR)
+        assert entry.state == "I"
+        assert entry.data.get(0) == 31
+        # Value survives for the next reader.
+        assert do_load(machine, 2, ADDR) == 31
+
+    def test_l1_capacity_evictions_preserve_values(self):
+        """Walk far more lines than one L1 set holds; all values survive."""
+        machine = make_machine()
+        # L1: 512 sets, 2 ways. Lines with identical set index collide.
+        addresses = [ADDR + i * 512 * 64 for i in range(6)]
+        for i, address in enumerate(addresses):
+            do_store(machine, 0, address, 1000 + i)
+        for i, address in enumerate(addresses):
+            assert do_load(machine, 0, address) == 1000 + i
+        machine.check_coherence()
+
+
+class TestAtomics:
+    def test_rmw_returns_old_value(self):
+        machine = make_machine()
+        do_store(machine, 0, ADDR, 10)
+        assert do_rmw(machine, 1, ADDR) == 10
+        assert do_load(machine, 1, ADDR) == 11
+
+    def test_sequential_rmws_count_correctly(self):
+        machine = make_machine()
+        for i in range(12):
+            assert do_rmw(machine, i % 4, ADDR) == i
+        assert do_load(machine, 0, ADDR) == 12
+        machine.check_coherence()
+
+
+class TestWordGranularity:
+    def test_distinct_words_in_one_line_independent(self):
+        machine = make_machine()
+        do_store(machine, 0, ADDR, 1)
+        do_store(machine, 0, ADDR + 8, 2)
+        do_store(machine, 0, ADDR + 56, 8)
+        assert do_load(machine, 1, ADDR) == 1
+        assert do_load(machine, 1, ADDR + 8) == 2
+        assert do_load(machine, 1, ADDR + 56) == 8
+
+    def test_false_sharing_still_coherent(self):
+        machine = make_machine()
+        do_store(machine, 0, ADDR, 100)      # word 0
+        do_store(machine, 1, ADDR + 8, 200)  # word 1, same line
+        assert do_load(machine, 2, ADDR) == 100
+        assert do_load(machine, 2, ADDR + 8) == 200
+        machine.check_coherence()

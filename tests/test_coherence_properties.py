@@ -1,0 +1,158 @@
+"""Property-based whole-protocol tests.
+
+Hypothesis drives random access interleavings through complete machines
+(both protocols) and checks the global invariants after quiescence:
+coherence (SWMR, directory accuracy, value agreement), functional
+correctness of atomics, and last-writer-wins visibility for data-race-free
+per-word streams.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import baseline_config, widir_config
+from repro.system import Manycore
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: A compact op encoding: (core, op_kind, line_index, word_index, value)
+OPS = st.lists(
+    st.tuples(
+        st.integers(0, 7),            # core
+        st.sampled_from(["load", "store", "rmw"]),
+        st.integers(0, 5),            # line index into a small pool
+        st.integers(0, 7),            # word within line
+        st.integers(0, 1 << 20),      # store value
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+BASE = 0x0100_0000
+
+
+def run_interleaving(config, ops, concurrent=True):
+    """Issue ops (concurrently or serially), run to quiescence, return machine."""
+    machine = Manycore(config)
+    pending = {"count": 0}
+
+    def issue(core, kind, address, value):
+        pending["count"] += 1
+
+        def done(*_args):
+            pending["count"] -= 1
+
+        if kind == "load":
+            machine.caches[core].load(address, done)
+        elif kind == "store":
+            machine.caches[core].store(address, value, done)
+        else:
+            machine.caches[core].rmw(address, done)
+
+    if concurrent:
+        for core, kind, line_idx, word_idx, value in ops:
+            issue(core, kind, BASE + line_idx * 64 + word_idx * 8, value)
+        machine.run(max_events=50_000_000)
+    else:
+        for core, kind, line_idx, word_idx, value in ops:
+            issue(core, kind, BASE + line_idx * 64 + word_idx * 8, value)
+            machine.run(max_events=50_000_000)
+    assert pending["count"] == 0, "some operations never completed"
+    return machine
+
+
+class TestRandomInterleavings:
+    @SETTINGS
+    @given(ops=OPS)
+    def test_baseline_concurrent_ops_stay_coherent(self, ops):
+        machine = run_interleaving(baseline_config(num_cores=8), ops)
+        machine.check_coherence()
+
+    @SETTINGS
+    @given(ops=OPS)
+    def test_widir_concurrent_ops_stay_coherent(self, ops):
+        machine = run_interleaving(widir_config(num_cores=8), ops)
+        machine.check_coherence()
+
+    @SETTINGS
+    @given(ops=OPS)
+    def test_serial_ops_last_writer_wins(self, ops):
+        """With serialized operations, every word reads as its last write."""
+        machine = run_interleaving(widir_config(num_cores=8), ops, concurrent=False)
+        machine.check_coherence()
+        last_write = {}
+        counters = {}
+        for _core, kind, line_idx, word_idx, value in ops:
+            key = (line_idx, word_idx)
+            if kind == "store":
+                last_write[key] = value
+                counters.pop(key, None)
+            elif kind == "rmw":
+                counters[key] = counters.get(key, last_write.get(key, 0)) + 1
+        results = {}
+        for (line_idx, word_idx) in last_write | counters:
+            address = BASE + line_idx * 64 + word_idx * 8
+            machine.caches[0].load(
+                address, lambda v, k=(line_idx, word_idx): results.__setitem__(k, v)
+            )
+        machine.run(max_events=10_000_000)
+        for key, value in results.items():
+            if key in counters:
+                assert value == counters[key], f"rmw count mismatch at {key}"
+            else:
+                assert value == last_write[key], f"lost store at {key}"
+
+    @SETTINGS
+    @given(
+        num_rmws=st.integers(1, 12),
+        cores=st.integers(2, 8),
+        seed=st.integers(0, 100),
+    )
+    def test_concurrent_rmw_storm_sums_exactly(self, num_rmws, cores, seed):
+        """K cores x N concurrent atomics on one word total exactly K*N,
+        whether served wired or wireless."""
+        for config in (baseline_config(num_cores=8), widir_config(num_cores=8)):
+            machine = Manycore(config)
+            address = BASE + (seed % 4) * 64
+            remaining = {c: num_rmws for c in range(cores)}
+
+            def chain(core):
+                if remaining[core] == 0:
+                    return
+                remaining[core] -= 1
+                machine.caches[core].rmw(address, lambda _old, c=core: chain(c))
+
+            for core in range(cores):
+                chain(core)
+            machine.run(max_events=80_000_000)
+            assert all(v == 0 for v in remaining.values())
+            out = []
+            machine.caches[0].load(address, out.append)
+            machine.run(max_events=1_000_000)
+            assert out[0] == cores * num_rmws
+            machine.check_coherence()
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_cycles(self):
+        ops = [
+            (c % 8, kind, c % 4, c % 8, c * 7)
+            for c, kind in enumerate(["load", "store", "rmw"] * 20)
+        ]
+        cycles = []
+        for _ in range(2):
+            machine = run_interleaving(widir_config(num_cores=8, seed=5), ops)
+            cycles.append(machine.sim.now)
+        assert cycles[0] == cycles[1]
+
+    def test_different_seeds_may_differ_but_stay_correct(self):
+        ops = [(c % 8, "rmw", 0, 0, 0) for c in range(24)]
+        for seed in (1, 2):
+            machine = run_interleaving(widir_config(num_cores=8, seed=seed), ops)
+            out = []
+            machine.caches[0].load(BASE, out.append)
+            machine.run(max_events=1_000_000)
+            assert out[0] == 24

@@ -1,0 +1,321 @@
+"""Directed regression tests for protocol races found during development.
+
+Every scenario here reproduces (in miniature) a race that once broke the
+implementation. The comments name the failure each test guards against;
+see DESIGN.md section 5 for the design-level write-ups.
+"""
+
+import pytest
+
+from repro.config import baseline_config, widir_config
+from repro.coherence import messages as mk
+from repro.noc.message import Message
+from repro.system import Manycore
+
+
+ADDR = 0x0003_0000
+
+
+def drain(machine, budget=20_000_000):
+    machine.run(max_events=budget)
+
+
+def load(machine, core, address=ADDR):
+    out = []
+    machine.caches[core].load(address, out.append)
+    drain(machine)
+    return out[0]
+
+
+def store(machine, core, value, address=ADDR):
+    done = []
+    machine.caches[core].store(address, value, lambda: done.append(True))
+    drain(machine)
+    assert done
+
+
+class TestResponseForwardOrdering:
+    """Race: a response sent with LLC latency was overtaken by a forward
+    sent one event later with a smaller delay (fixed by per-pair FIFO)."""
+
+    def test_grant_then_forward_arrive_in_order(self):
+        machine = Manycore(baseline_config(num_cores=16))
+        # Core 0 cold write; immediately core 1 writes: the directory sends
+        # DataE to 0 then (after the fetch) FwdGetX to 0. Order must hold.
+        done = []
+        machine.caches[0].store(ADDR, 1, lambda: done.append("a"))
+        machine.caches[1].store(ADDR, 2, lambda: done.append("b"))
+        drain(machine)
+        assert sorted(done) == ["a", "b"]
+        assert load(machine, 1) == 2
+        machine.check_coherence()
+
+    def test_sixteen_way_write_race_resolves(self):
+        machine = Manycore(baseline_config(num_cores=16))
+        done = []
+        for core in range(16):
+            machine.caches[core].store(ADDR, core, lambda c=core: done.append(c))
+        drain(machine)
+        assert len(done) == 16
+        final = load(machine, 0)
+        assert final in range(16)
+        machine.check_coherence()
+
+
+class TestForwardCompletesAtRequester:
+    """Race: the directory unblocked on the owner's ack before the
+    requester installed the forwarded data; the next forward found no
+    owner. Completion now routes through the requester."""
+
+    def test_chained_ownership_transfers(self):
+        machine = Manycore(baseline_config(num_cores=16))
+        for core in range(8):
+            store(machine, core, 100 + core)
+        assert load(machine, 15) == 107
+        machine.check_coherence()
+
+    def test_read_after_write_chain(self):
+        machine = Manycore(baseline_config(num_cores=16))
+        store(machine, 0, 5)
+        # Reads from many cores force FwdGetS from the dirty owner.
+        for core in (3, 7, 11):
+            assert load(machine, core) == 5
+        machine.check_coherence()
+
+
+class TestOwnerEvictionVsForward:
+    """Race: the owner evicted its line while a forward was in flight;
+    the eviction buffer must answer until the directory's PutAck."""
+
+    def test_forward_served_from_eviction_buffer(self):
+        machine = Manycore(baseline_config(num_cores=4))
+        store(machine, 0, 77)
+        cache = machine.caches[0]
+        line = machine.amap.line_of(ADDR)
+        victim = cache.array.lookup(line)
+        # Start the eviction but do NOT run the sim: PutM is now in flight.
+        cache._evict(victim)
+        assert line in cache._evicting
+        # A reader's request will be forwarded at the directory (still E).
+        out = []
+        machine.caches[2].load(ADDR, out.append)
+        drain(machine)
+        assert out[0] == 77
+        assert line not in cache._evicting  # PutAck arrived
+        machine.check_coherence()
+
+    def test_rerequest_blocked_until_put_ack(self):
+        """A cache must not re-request a line whose eviction is unacked
+        (the directory could otherwise mistake the old PutM for current)."""
+        machine = Manycore(baseline_config(num_cores=4))
+        store(machine, 0, 1)
+        cache = machine.caches[0]
+        line = machine.amap.line_of(ADDR)
+        cache._evict(cache.array.lookup(line))
+        # Immediately re-access: must still produce the correct value.
+        out = []
+        machine.caches[0].load(ADDR, out.append)
+        drain(machine)
+        assert out[0] == 1
+        machine.check_coherence()
+
+
+class TestToneAckCaseIII:
+    """Race: a Shared grant in flight across an S->W transition must
+    install in W (paper completion case iii), not S."""
+
+    def test_in_flight_data_converts_to_wireless(self):
+        machine = Manycore(widir_config(num_cores=8))
+        # Three sharers, then two more requests back-to-back: the second
+        # triggers S->W while the first's Data response may be in flight.
+        for core in range(3):
+            load(machine, core)
+        out = []
+        machine.caches[3].load(ADDR, lambda v: out.append(v))
+        machine.caches[4].load(ADDR, lambda v: out.append(v))
+        drain(machine)
+        assert len(out) == 2
+        line = machine.amap.line_of(ADDR)
+        entry = machine.directories[machine.amap.home_of(line)].array.lookup(
+            line, touch=False
+        )
+        assert entry.state == "W"
+        # Every holder must be in W — an S straggler would corrupt counts.
+        for core in range(5):
+            cached = machine.caches[core].array.lookup(line, touch=False)
+            if cached is not None:
+                assert cached.state == "W"
+        machine.check_coherence()
+
+
+class TestJoinSnapshotFreshness:
+    """Race: a joiner's WirUpgr snapshot missed a committed-but-undelivered
+    WirUpd (fixed by the jam settle window)."""
+
+    def test_joiner_sees_latest_update(self):
+        machine = Manycore(widir_config(num_cores=16))
+        for core in range(5):
+            load(machine, core)
+        # Burst of wireless writes, then an immediate join.
+        done = []
+        machine.caches[0].store(ADDR, 111, lambda: done.append(1))
+        machine.caches[1].store(ADDR, 222, lambda: done.append(1))
+        out = []
+        machine.caches[9].load(ADDR, out.append)
+        drain(machine)
+        # The join may legally serialize before either write; what matters
+        # is that after quiescence every copy (including the joiner's)
+        # converged on the same value — a stale snapshot would diverge.
+        assert out[0] in (0, 111, 222)
+        values = {load(machine, c) for c in (0, 1, 9)}
+        assert len(values) == 1
+        machine.check_coherence()
+
+    def test_home_tile_l1_updates_are_jammed_too(self):
+        """Race: jam exemption by sender let the home tile's own L1 slip
+        updates past its directory's jam (fixed by kind-based exemption)."""
+        machine = Manycore(widir_config(num_cores=8))
+        line = machine.amap.line_of(ADDR)
+        home = machine.amap.home_of(line)
+        sharers = [c for c in range(8) if c != home][:4] + [home]
+        for core in sharers:
+            load(machine, core)
+        # The home tile's own L1 writes wirelessly while another core joins.
+        done = []
+        machine.caches[home].store(ADDR, 999, lambda: done.append(1))
+        joiner = [c for c in range(8) if c not in sharers][0]
+        out = []
+        machine.caches[joiner].load(ADDR, out.append)
+        drain(machine)
+        assert done
+        values = {load(machine, c) for c in sharers + [joiner]}
+        assert values == {999}
+        machine.check_coherence()
+
+
+class TestStaleRequestHandling:
+    """Races: superseded requests answered late produced duplicate grants,
+    self-forwards, and orphaned MSHRs (fixed by serials + owner-discard)."""
+
+    def test_upgrade_churn_through_w_epochs(self):
+        machine = Manycore(widir_config(num_cores=8))
+        # Cycle the line through W and back while cores keep writing.
+        for round_id in range(3):
+            for core in range(5):
+                load(machine, core)
+            for core in range(5):
+                store(machine, core, round_id * 10 + core)
+            # Kill the wireless epoch by evicting down to the threshold.
+            line = machine.amap.line_of(ADDR)
+            for core in (4, 3):
+                entry = machine.caches[core].array.lookup(line, touch=False)
+                if entry is not None and entry.state == "W":
+                    machine.caches[core]._evict(entry)
+                    drain(machine)
+        machine.check_coherence()
+
+    def test_atomics_survive_w_epoch_churn(self):
+        machine = Manycore(widir_config(num_cores=8))
+        total = 40
+        remaining = {c: total // 8 for c in range(8)}
+
+        def go(core):
+            if remaining[core] == 0:
+                return
+            remaining[core] -= 1
+            machine.caches[core].rmw(ADDR, lambda _o, c=core: go(c))
+
+        for core in range(4):  # seed some read sharing first
+            load(machine, core)
+        for core in range(8):
+            go(core)
+        drain(machine, budget=100_000_000)
+        assert all(v == 0 for v in remaining.values())
+        assert load(machine, 0) == total
+        machine.check_coherence()
+
+
+class TestDowngradeAckAccounting:
+    """Races: an acked-then-evicted sharer made the W->S completion target
+    unreachable; a late ack after closure left an untracked stale copy."""
+
+    def test_ack_then_evict_still_completes_downgrade(self):
+        machine = Manycore(widir_config(num_cores=8))
+        for core in range(5):
+            load(machine, core)
+        line = machine.amap.line_of(ADDR)
+        # Drop two sharers concurrently (without draining between) so the
+        # WirDwgr collection overlaps further departures.
+        for core in (4, 3, 2):
+            entry = machine.caches[core].array.lookup(line, touch=False)
+            if entry is not None:
+                machine.caches[core]._evict(entry)
+        drain(machine)
+        entry = machine.directories[machine.amap.home_of(line)].array.lookup(
+            line, touch=False
+        )
+        assert entry is not None
+        assert not entry.busy, "W->S must have completed"
+        machine.check_coherence()
+
+    def test_values_correct_after_overlapping_departures(self):
+        machine = Manycore(widir_config(num_cores=8))
+        for core in range(6):
+            load(machine, core)
+        store(machine, 0, 4242)
+        line = machine.amap.line_of(ADDR)
+        for core in (5, 4, 3):
+            entry = machine.caches[core].array.lookup(line, touch=False)
+            if entry is not None:
+                machine.caches[core]._evict(entry)
+        drain(machine)
+        assert load(machine, 7) == 4242
+        machine.check_coherence()
+
+
+class TestOwnerLeftDuringForward:
+    """Race: a PutS from the downgrading owner during fwd_gets was lost and
+    the owner re-added as a phantom sharer at completion."""
+
+    def test_owner_eviction_mid_forward_not_phantom(self):
+        machine = Manycore(baseline_config(num_cores=8))
+        store(machine, 0, 9)
+        line = machine.amap.line_of(ADDR)
+        # Reader triggers FwdGetS; as soon as the owner downgrades, it
+        # evicts its new S copy (all without draining in between is not
+        # directly constructible, so emulate: read, then evict quickly).
+        out = []
+        machine.caches[1].load(ADDR, out.append)
+        drain(machine)
+        owner_entry = machine.caches[0].array.lookup(line, touch=False)
+        machine.caches[0]._evict(owner_entry)
+        drain(machine)
+        home = machine.amap.home_of(line)
+        entry = machine.directories[home].array.lookup(line, touch=False)
+        assert 0 not in entry.sharers
+        # A write by another core must not wait on the phantom.
+        store(machine, 2, 10)
+        assert load(machine, 3) == 10
+        machine.check_coherence()
+
+
+class TestWirelessWriteSquash:
+    """Paper IV-C: pending wireless writes squashed by WirInv/WirDwgr retry
+    through the wired path and still land exactly once."""
+
+    def test_downgrade_mid_write_lands_once(self):
+        machine = Manycore(widir_config(num_cores=8))
+        for core in range(5):
+            load(machine, core)
+        line = machine.amap.line_of(ADDR)
+        # Issue a wireless write and immediately force a downgrade.
+        done = []
+        machine.caches[0].store(ADDR, 31337, lambda: done.append(1))
+        for core in (4, 3):
+            entry = machine.caches[core].array.lookup(line, touch=False)
+            if entry is not None:
+                machine.caches[core]._evict(entry)
+        drain(machine)
+        assert done == [1]
+        assert load(machine, 6) == 31337
+        machine.check_coherence()

@@ -1,0 +1,245 @@
+"""Unit tests for the WiDir wireless protocol transitions (Tables I & II)."""
+
+import pytest
+
+from repro.config import widir_config
+from repro.system import Manycore
+
+
+ADDR = 0x0002_0000
+
+
+def make_machine(cores=8, max_wired_sharers=3):
+    return Manycore(widir_config(num_cores=cores, max_wired_sharers=max_wired_sharers))
+
+
+def do_load(machine, core, address):
+    out = []
+    machine.caches[core].load(address, out.append)
+    machine.run(max_events=5_000_000)
+    return out[0]
+
+
+def do_store(machine, core, address, value):
+    done = []
+    machine.caches[core].store(address, value, lambda: done.append(True))
+    machine.run(max_events=5_000_000)
+    assert done
+
+
+def do_rmw(machine, core, address):
+    out = []
+    machine.caches[core].rmw(address, out.append)
+    machine.run(max_events=5_000_000)
+    return out[0]
+
+
+def line_state(machine, core, address):
+    entry = machine.caches[core].array.lookup(
+        machine.amap.line_of(address), touch=False
+    )
+    return entry.state if entry else "I"
+
+
+def dir_entry(machine, address):
+    line = machine.amap.line_of(address)
+    home = machine.amap.home_of(line)
+    return machine.directories[home].array.lookup(line, touch=False)
+
+
+def share_widely(machine, address, readers):
+    for core in readers:
+        do_load(machine, core, address)
+
+
+class TestSToWTransition:
+    def test_fourth_sharer_triggers_wireless(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(3))
+        assert dir_entry(machine, ADDR).state == "S"
+        do_load(machine, 3, ADDR)  # 4 > MaxWiredSharers=3
+        entry = dir_entry(machine, ADDR)
+        assert entry.state == "W"
+        assert entry.sharer_count == 4
+        for core in range(4):
+            assert line_state(machine, core, ADDR) == "W"
+        machine.check_coherence()
+
+    def test_threshold_respects_configuration(self):
+        machine = make_machine(max_wired_sharers=2)
+        share_widely(machine, ADDR, range(3))
+        assert dir_entry(machine, ADDR).state == "W"
+
+    def test_write_miss_can_trigger_transition(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(3))
+        do_store(machine, 5, ADDR, 77)  # non-sharer GetX, 4 > 3
+        entry = dir_entry(machine, ADDR)
+        assert entry.state == "W"
+        # The triggering writer performed its write wirelessly.
+        assert do_load(machine, 0, ADDR) == 77
+        machine.check_coherence()
+
+    def test_sharer_count_not_identities_in_w(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(4))
+        entry = dir_entry(machine, ADDR)
+        assert entry.sharers == set()          # pointers reinterpreted
+        assert entry.sharer_count == 4
+        assert entry.broadcast is False         # always zero in W
+
+
+class TestWirelessOperation:
+    def test_wireless_write_updates_all_sharers(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(5))
+        do_store(machine, 2, ADDR, 4242)
+        for core in range(5):
+            assert do_load(machine, core, ADDR) == 4242
+        machine.check_coherence()
+
+    def test_wireless_write_does_not_invalidate(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(5))
+        before = {c: line_state(machine, c, ADDR) for c in range(5)}
+        do_store(machine, 0, ADDR, 1)
+        after = {c: line_state(machine, c, ADDR) for c in range(5)}
+        assert before == after == {c: "W" for c in range(5)}
+
+    def test_wireless_writes_are_word_granular(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(4))
+        do_store(machine, 0, ADDR, 1)
+        do_store(machine, 1, ADDR + 8, 2)
+        assert do_load(machine, 3, ADDR) == 1
+        assert do_load(machine, 3, ADDR + 8) == 2
+
+    def test_home_llc_tracks_wireless_updates(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(4))
+        do_store(machine, 0, ADDR, 31)
+        entry = dir_entry(machine, ADDR)
+        assert entry.data.get(0) == 31
+        assert entry.dirty
+
+    def test_new_sharer_joins_via_wired_upgrade(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(4))
+        do_store(machine, 0, ADDR, 9)
+        count_before = dir_entry(machine, ADDR).sharer_count
+        assert do_load(machine, 6, ADDR) == 9  # join: WirUpgr path
+        entry = dir_entry(machine, ADDR)
+        assert entry.state == "W"
+        assert entry.sharer_count == count_before + 1
+        assert line_state(machine, 6, ADDR) == "W"
+
+    def test_wireless_rmw_atomicity(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(5))
+        for i in range(10):
+            assert do_rmw(machine, i % 5, ADDR) == i
+        machine.check_coherence()
+
+
+class TestUpdateCountSelfInvalidation:
+    def test_inactive_sharer_self_invalidates(self):
+        machine = make_machine()
+        threshold = machine.config.directory.update_count_threshold
+        share_widely(machine, ADDR, range(4))
+        # Core 3 stops touching the line; others write past the threshold.
+        for i in range(threshold + 2):
+            do_store(machine, i % 3, ADDR, i)
+        assert line_state(machine, 3, ADDR) == "I"
+        machine.check_coherence()
+
+    def test_active_sharer_survives(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(4))
+        for i in range(8):
+            do_store(machine, i % 3, ADDR, i)
+            do_load(machine, 3, ADDR)  # stays interested
+        assert line_state(machine, 3, ADDR) == "W"
+
+    def test_update_count_resets_on_local_access(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(4))
+        do_store(machine, 0, ADDR, 1)
+        do_store(machine, 1, ADDR, 2)
+        do_load(machine, 3, ADDR)
+        entry = machine.caches[3].array.lookup(machine.amap.line_of(ADDR))
+        assert entry.update_count == 0
+
+
+class TestWToSTransition:
+    def test_departures_trigger_downgrade(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(5))  # W, count 5
+        # Evict from one cache: count drops to 4, still W.
+        cache = machine.caches[4]
+        cache._evict(cache.array.lookup(machine.amap.line_of(ADDR)))
+        machine.run(max_events=5_000_000)
+        assert dir_entry(machine, ADDR).state == "W"
+        # Second eviction: count reaches MaxWiredSharers=3 -> downgrade.
+        cache = machine.caches[3]
+        cache._evict(cache.array.lookup(machine.amap.line_of(ADDR)))
+        machine.run(max_events=5_000_000)
+        entry = dir_entry(machine, ADDR)
+        assert entry.state == "S"
+        assert entry.sharers == {0, 1, 2}
+        for core in range(3):
+            assert line_state(machine, core, ADDR) == "S"
+        machine.check_coherence()
+
+    def test_dirty_line_written_to_memory_on_downgrade(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(5))
+        do_store(machine, 0, ADDR, 123)
+        for core in (4, 3):
+            cache = machine.caches[core]
+            cache._evict(cache.array.lookup(machine.amap.line_of(ADDR)))
+            machine.run(max_events=5_000_000)
+        assert dir_entry(machine, ADDR).state == "S"
+        assert machine.memory.read_word(machine.amap.line_of(ADDR), 0) == 123
+
+    def test_values_survive_full_w_cycle(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(5))
+        do_store(machine, 1, ADDR, 321)
+        for core in (4, 3):
+            cache = machine.caches[core]
+            cache._evict(cache.array.lookup(machine.amap.line_of(ADDR)))
+            machine.run(max_events=5_000_000)
+        # Back in S: wired protocol resumes with the wireless-era value.
+        assert do_load(machine, 7, ADDR) == 321
+        do_store(machine, 7, ADDR, 99)
+        assert do_load(machine, 0, ADDR) == 99
+        machine.check_coherence()
+
+
+class TestOscillation:
+    def test_repeated_w_s_cycles_remain_coherent(self):
+        machine = make_machine()
+        line = machine.amap.line_of(ADDR)
+        for round_id in range(4):
+            share_widely(machine, ADDR, range(5))
+            assert dir_entry(machine, ADDR).state == "W"
+            do_store(machine, 0, ADDR, 1000 + round_id)
+            for core in (4, 3):
+                entry = machine.caches[core].array.lookup(line, touch=False)
+                if entry is not None:
+                    machine.caches[core]._evict(entry)
+                    machine.run(max_events=5_000_000)
+            assert do_load(machine, 1, ADDR) == 1000 + round_id
+        machine.check_coherence()
+
+
+class TestBaselineEquivalenceBelowThreshold:
+    def test_few_sharers_stay_wired(self):
+        machine = make_machine()
+        share_widely(machine, ADDR, range(3))
+        assert dir_entry(machine, ADDR).state == "S"
+        do_store(machine, 0, ADDR, 5)
+        # Plain invalidation semantics below the threshold.
+        assert line_state(machine, 1, ADDR) == "I"
+        assert line_state(machine, 2, ADDR) == "I"
+        machine.check_coherence()

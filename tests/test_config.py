@@ -1,0 +1,116 @@
+"""Tests for the configuration dataclasses and presets."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    DirectoryConfig,
+    SystemConfig,
+    WirelessConfig,
+    baseline_config,
+    paper_config,
+    widir_config,
+)
+from repro.engine.errors import ConfigurationError
+
+
+class TestTableIIIDefaults:
+    """The defaults must mirror the paper's Table III."""
+
+    def test_general_parameters(self):
+        config = paper_config()
+        assert config.num_cores == 64
+        assert config.core.issue_width == 4
+        assert config.core.rob_entries == 180
+        assert config.core.load_store_queue_entries == 64
+        assert config.core.write_buffer_entries == 64
+        assert config.l1.size_bytes == 64 * 1024
+        assert config.l1.associativity == 2
+        assert config.l1.round_trip_cycles == 2
+        assert config.l1.line_bytes == 64
+        assert config.l2.size_bytes == 512 * 1024
+        assert config.l2.associativity == 8
+        assert config.l2.round_trip_cycles == 12
+        assert config.noc.cycles_per_hop == 1
+        assert config.noc.link_width_bits == 128
+        assert config.memory.num_controllers == 4
+        assert config.memory.round_trip_cycles == 80
+
+    def test_widir_parameters(self):
+        config = paper_config()
+        assert config.directory.num_pointers == 3  # Dir_3_B
+        assert config.directory.max_wired_sharers == 3
+        assert config.wireless.data_transfer_cycles == 4
+        assert config.wireless.collision_detect_cycles == 1
+        assert config.wireless.tone_cycles == 1
+        assert config.wireless.frame_cycles == 6
+
+    def test_l1_geometry(self):
+        config = paper_config()
+        assert config.l1.num_sets == 512
+        assert config.l2.num_sets == 1024
+
+
+class TestMeshFactorization:
+    @pytest.mark.parametrize(
+        "cores,expected",
+        [(64, (8, 8)), (32, (8, 4)), (16, (4, 4)), (8, (4, 2)), (4, (2, 2)), (2, (2, 1))],
+    )
+    def test_rectangular_factorization(self, cores, expected):
+        config = paper_config(num_cores=cores)
+        assert (config.mesh_width, config.mesh_height) == expected
+        assert config.mesh_width * config.mesh_height == cores
+
+    def test_prime_core_count_degenerates_to_row(self):
+        config = SystemConfig(num_cores=7)
+        assert (config.mesh_width, config.mesh_height) == (7, 1)
+
+
+class TestValidation:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replace(paper_config(), protocol="magic").validate()
+
+    def test_max_wired_sharers_bounded_by_pointers(self):
+        bad = DirectoryConfig(num_pointers=3, max_wired_sharers=4)
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+    def test_mismatched_line_sizes_rejected(self):
+        config = replace(
+            paper_config(), l1=CacheConfig(line_bytes=64), l2=CacheConfig(line_bytes=128)
+        )
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(line_bytes=96).validate()
+
+    def test_wireless_validation(self):
+        with pytest.raises(ConfigurationError):
+            WirelessConfig(data_transfer_cycles=0).validate()
+
+
+class TestPresets:
+    def test_baseline_has_no_wireless(self):
+        config = baseline_config()
+        assert config.protocol == "baseline"
+        assert not config.uses_wireless
+
+    def test_widir_uses_wireless(self):
+        config = widir_config()
+        assert config.uses_wireless
+
+    def test_widir_threshold_override(self):
+        config = widir_config(max_wired_sharers=5)
+        assert config.directory.max_wired_sharers == 5
+        # Pointer count grows to keep the Dir_i_B constraint.
+        assert config.directory.num_pointers >= 5
+
+    def test_presets_are_validated(self):
+        for cores in (4, 16, 64):
+            baseline_config(num_cores=cores).validate()
+            widir_config(num_cores=cores).validate()

@@ -1,0 +1,113 @@
+"""Unit and property tests for the directory/LLC array."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence.directory import DirectoryArray, DirectoryEntry
+from repro.engine.errors import SimulationError
+
+
+class TestBasics:
+    def test_insert_lookup_remove(self):
+        array = DirectoryArray(4, 2)
+        entry = array.insert(0x10)
+        assert array.lookup(0x10) is entry
+        assert array.remove(0x10) is entry
+        assert array.lookup(0x10) is None
+
+    def test_fresh_entry_defaults(self):
+        entry = DirectoryArray(4, 2).insert(0x40)
+        assert entry.state == "I"
+        assert entry.owner is None
+        assert entry.sharers == set()
+        assert not entry.broadcast
+        assert not entry.coarse_regions
+        assert not entry.has_data
+        assert not entry.busy
+        assert len(entry.deferred) == 0
+
+    def test_double_insert_rejected(self):
+        array = DirectoryArray(4, 2)
+        array.insert(0x10)
+        with pytest.raises(SimulationError):
+            array.insert(0x10)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(SimulationError):
+            DirectoryArray(4, 2).remove(0x10)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(SimulationError):
+            DirectoryArray(3, 2)
+
+
+class TestVictims:
+    def test_victim_is_lru_non_busy(self):
+        array = DirectoryArray(1, 2)
+        first = array.insert(10)
+        array.insert(20)
+        first.busy = True  # pinned by an in-flight transaction
+        victim = array.victim_for(30)
+        assert victim.line == 20
+
+    def test_all_busy_returns_none(self):
+        array = DirectoryArray(1, 2)
+        array.insert(10).busy = True
+        array.insert(20).busy = True
+        assert array.victim_for(30) is None
+
+    def test_no_victim_when_room(self):
+        array = DirectoryArray(1, 2)
+        array.insert(10)
+        assert array.victim_for(20) is None
+        assert not array.needs_victim(20)
+
+    def test_lookup_touch_changes_lru(self):
+        array = DirectoryArray(1, 2)
+        array.insert(10)
+        array.insert(20)
+        array.lookup(10)  # 10 becomes MRU
+        assert array.victim_for(30).line == 20
+
+
+class TestEntriesIteration:
+    def test_entries_spans_all_sets(self):
+        array = DirectoryArray(4, 2)
+        for line in range(8):
+            array.insert(line)
+        assert sorted(e.line for e in array.entries()) == list(range(8))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "remove", "busy", "idle"]),
+                  st.integers(0, 31)),
+        max_size=80,
+    )
+)
+def test_property_array_matches_reference_model(ops):
+    array = DirectoryArray(4, 4)
+    reference = {}
+    for op, line in ops:
+        if op == "insert" and line not in reference:
+            if array.needs_victim(line):
+                victim = array.victim_for(line)
+                if victim is None:
+                    continue  # all busy: caller polls in the real system
+                array.remove(victim.line)
+                del reference[victim.line]
+            reference[line] = array.insert(line)
+        elif op == "remove" and line in reference:
+            array.remove(line)
+            del reference[line]
+        elif op == "busy" and line in reference:
+            reference[line].busy = True
+        elif op == "idle" and line in reference:
+            reference[line].busy = False
+    assert sorted(e.line for e in array.entries()) == sorted(reference)
+    # Busy entries are never offered as victims.
+    for line in range(32):
+        if array.needs_victim(line):
+            victim = array.victim_for(line)
+            assert victim is None or not victim.busy

@@ -1,0 +1,107 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.config import baseline_config, widir_config
+from repro.energy.models import EnergyBreakdown, EnergyModel
+from repro.stats.collectors import StatsRegistry
+
+
+def synthetic_stats(instructions=1_000_000, l1=300_000, llc=20_000, frames=0,
+                    busy=0, tone_ops=0, hops=100_000, data_msgs=5_000,
+                    messages=30_000):
+    stats = StatsRegistry()
+    stats.counter("core.total.instructions").add(instructions)
+    stats.counter("l1.total.accesses").add(l1)
+    stats.counter("dir.total.llc_accesses").add(llc)
+    stats.counter("noc.total_hops").add(hops)
+    stats.counter("noc.data_messages").add(data_msgs)
+    stats.counter("noc.messages").add(messages)
+    stats.counter("wnoc.frames").add(frames)
+    stats.counter("wnoc.busy_cycles").add(busy)
+    stats.counter("tone.operations").add(tone_ops)
+    return stats
+
+
+class TestBreakdown:
+    def test_total_is_sum_of_components(self):
+        breakdown = EnergyBreakdown(core=10, l1=2, l2_dir=4, noc=3, wnoc=1)
+        assert breakdown.total == 20
+        assert breakdown.as_dict() == {
+            "core": 10, "l1": 2, "l2_dir": 4, "noc": 3, "wnoc": 1
+        }
+
+    def test_shares_sum_to_one(self):
+        breakdown = EnergyBreakdown(core=10, l1=2, l2_dir=4, noc=3, wnoc=1)
+        assert sum(breakdown.shares().values()) == pytest.approx(1.0)
+
+    def test_zero_total_shares(self):
+        breakdown = EnergyBreakdown(0, 0, 0, 0, 0)
+        assert all(v == 0 for v in breakdown.shares().values())
+
+
+class TestModel:
+    def test_baseline_has_no_wnoc_energy(self):
+        model = EnergyModel()
+        breakdown = model.compute(
+            baseline_config(num_cores=64), synthetic_stats(), cycles=100_000
+        )
+        assert breakdown.wnoc == 0.0
+        assert breakdown.total > 0
+
+    def test_widir_includes_wnoc_energy(self):
+        model = EnergyModel()
+        breakdown = model.compute(
+            widir_config(num_cores=64),
+            synthetic_stats(frames=1000, busy=8000, tone_ops=50),
+            cycles=100_000,
+        )
+        assert breakdown.wnoc > 0
+
+    def test_paper_like_baseline_shares(self):
+        """A representative 64-core run lands near the paper's Figure 9
+        Baseline decomposition: core ~60%, L1 ~5%, L2+dir ~20%, NoC ~15%."""
+        model = EnergyModel()
+        breakdown = model.compute(
+            baseline_config(num_cores=64),
+            synthetic_stats(
+                instructions=2_000_000,
+                l1=600_000,
+                llc=60_000,
+                hops=400_000,
+                data_msgs=30_000,
+                messages=120_000,
+            ),
+            cycles=60_000,
+        )
+        shares = breakdown.shares()
+        assert 0.4 < shares["core"] < 0.75
+        assert shares["l1"] < 0.15
+        assert 0.05 < shares["l2_dir"] < 0.35
+        assert 0.03 < shares["noc"] < 0.30
+
+    def test_energy_scales_with_runtime(self):
+        model = EnergyModel()
+        config = baseline_config(num_cores=16)
+        short = model.compute(config, synthetic_stats(), cycles=10_000)
+        long = model.compute(config, synthetic_stats(), cycles=100_000)
+        assert long.total > short.total
+
+    def test_wnoc_idle_power_always_charged(self):
+        """Power-gated idle is still nonzero (Table III: 26.9 mW)."""
+        model = EnergyModel()
+        breakdown = model.compute(
+            widir_config(num_cores=16), synthetic_stats(), cycles=50_000
+        )
+        assert breakdown.wnoc >= 16 * 50_000 * model.wnoc_idle_mw * 0.9
+
+    def test_more_wireless_traffic_more_energy(self):
+        model = EnergyModel()
+        config = widir_config(num_cores=16)
+        quiet = model.compute(
+            config, synthetic_stats(frames=10, busy=60), cycles=50_000
+        )
+        loud = model.compute(
+            config, synthetic_stats(frames=5000, busy=30_000), cycles=50_000
+        )
+        assert loud.wnoc > quiet.wnoc

@@ -1,0 +1,96 @@
+"""Unit and property tests for the deterministic RNG."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(123)
+        b = DeterministicRng(123)
+        assert [a.next_u64() for _ in range(50)] == [b.next_u64() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.next_u64() for _ in range(8)] != [b.next_u64() for _ in range(8)]
+
+    def test_split_is_stable_and_independent(self):
+        parent = DeterministicRng(42)
+        child1 = parent.split("cache-0")
+        # Splitting again with the same label yields the same stream.
+        child2 = DeterministicRng(42).split("cache-0")
+        assert [child1.next_u64() for _ in range(10)] == [
+            child2.next_u64() for _ in range(10)
+        ]
+
+    def test_split_does_not_advance_parent(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        a.split("x")
+        a.split("y")
+        assert a.next_u64() == b.next_u64()
+
+    def test_distinct_labels_distinct_streams(self):
+        parent = DeterministicRng(9)
+        s1 = parent.split("alpha")
+        s2 = parent.split("beta")
+        assert [s1.next_u64() for _ in range(8)] != [s2.next_u64() for _ in range(8)]
+
+
+class TestDistributionContracts:
+    @given(st.integers(0, 2**32), st.integers(-100, 100), st.integers(0, 200))
+    def test_randint_in_range(self, seed, low, span):
+        rng = DeterministicRng(seed)
+        high = low + span
+        for _ in range(20):
+            value = rng.randint(low, high)
+            assert low <= value <= high
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).randint(5, 4)
+
+    @given(st.integers(0, 2**32))
+    def test_random_unit_interval(self, seed):
+        rng = DeterministicRng(seed)
+        for _ in range(50):
+            x = rng.random()
+            assert 0.0 <= x < 1.0
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).choice([])
+
+    @given(st.lists(st.integers(), min_size=1, max_size=20), st.integers(0, 2**16))
+    def test_choice_returns_member(self, items, seed):
+        rng = DeterministicRng(seed)
+        assert rng.choice(items) in items
+
+    @given(st.lists(st.integers(), max_size=30), st.integers(0, 2**16))
+    def test_shuffle_is_permutation(self, items, seed):
+        rng = DeterministicRng(seed)
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == sorted(items)
+
+    @given(st.floats(min_value=0.5, max_value=100.0), st.integers(0, 2**16))
+    def test_geometric_at_least_one(self, mean, seed):
+        rng = DeterministicRng(seed)
+        for _ in range(20):
+            assert rng.geometric(mean) >= 1
+
+    def test_geometric_mean_approximates_target(self):
+        rng = DeterministicRng(1234)
+        samples = [rng.geometric(10.0) for _ in range(20000)]
+        mean = sum(samples) / len(samples)
+        assert 9.0 < mean < 11.0
+
+    def test_randint_covers_range_uniformly_enough(self):
+        rng = DeterministicRng(5)
+        counts = {}
+        for _ in range(6000):
+            counts[rng.randint(0, 5)] = counts.get(rng.randint(0, 5), 0) + 1
+        assert set(counts) == set(range(6))

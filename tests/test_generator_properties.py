@@ -1,0 +1,85 @@
+"""Property tests over the trace generator across all 20 profiles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.trace import OP_BARRIER, OP_LOAD, OP_RMW, OP_STORE, OP_THINK
+from repro.workloads.generator import build_core_trace
+from repro.workloads.layout import LOCK_BASE, PRIVATE_BASE, SHARED_BASE
+from repro.workloads.profiles import ALL_APPS, APP_PROFILES
+
+MEMOP_KINDS = (OP_LOAD, OP_STORE, OP_RMW)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    app=st.sampled_from(ALL_APPS),
+    core=st.integers(0, 15),
+    seed=st.integers(0, 500),
+)
+def test_property_trace_wellformed(app, core, seed):
+    """Structural invariants that must hold for every profile/core/seed."""
+    profile = APP_PROFILES[app]
+    trace = build_core_trace(profile, core, 16, 300, seed)
+
+    # 1. Non-empty, ends after the final barrier phase.
+    assert trace
+    barrier_ids = [op.arg for op in trace if op.kind == OP_BARRIER]
+    assert barrier_ids == list(range(max(1, profile.phases)))
+
+    # 2. Addresses are word-aligned and land in known regions.
+    for op in trace:
+        if op.kind in MEMOP_KINDS:
+            assert op.address % 8 == 0
+            assert op.address >= PRIVATE_BASE
+
+    # 3. Think bursts are positive instruction counts.
+    for op in trace:
+        if op.kind == OP_THINK:
+            assert op.arg >= 1
+
+    # 4. Atomics target synchronization lines only.
+    for op in trace:
+        if op.kind == OP_RMW:
+            assert op.address >= LOCK_BASE
+
+    # 5. Private accesses stay inside this core's own span.
+    span_low = PRIVATE_BASE + core * 0x10_0000
+    span_high = span_low + 0x10_0000
+    for op in trace:
+        if op.kind in MEMOP_KINDS and op.address < SHARED_BASE:
+            assert span_low <= op.address < span_high
+
+
+@settings(max_examples=15, deadline=None)
+@given(app=st.sampled_from(ALL_APPS), seed=st.integers(0, 100))
+def test_property_determinism_per_inputs(app, seed):
+    profile = APP_PROFILES[app]
+    a = build_core_trace(profile, 1, 8, 120, seed)
+    b = build_core_trace(profile, 1, 8, 120, seed)
+    assert len(a) == len(b)
+    assert all(
+        (x.kind, x.address, x.value, x.arg, x.blocking)
+        == (y.kind, y.address, y.value, y.arg, y.blocking)
+        for x, y in zip(a, b)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_property_sync_loads_always_blocking(seed):
+    """Shared/lock/barrier loads are blocking (use-dependent) by design."""
+    trace = build_core_trace(APP_PROFILES["radiosity"], 0, 16, 300, seed)
+    for op in trace:
+        if op.kind == OP_LOAD and op.address >= SHARED_BASE:
+            assert op.blocking
+
+
+@pytest.mark.parametrize("app", ALL_APPS)
+def test_every_profile_generates_and_scales(app):
+    """Every one of the paper's 20 profiles generates at 2 machine sizes."""
+    profile = APP_PROFILES[app]
+    for cores in (4, 64):
+        trace = build_core_trace(profile, cores - 1, cores, 200, 0)
+        memops = sum(1 for op in trace if op.kind in MEMOP_KINDS)
+        assert memops >= 200

@@ -1,0 +1,106 @@
+"""Tests for the experiment harness (runner, figures, motivation probe)."""
+
+import pytest
+
+from repro.config import baseline_config, widir_config
+from repro.harness.figures import (
+    figure5_sharer_histogram,
+    figure6_mpki,
+    table4_mpki_characterization,
+    table5_hop_distribution,
+)
+from repro.harness.motivation import section2c_sharing_probe
+from repro.harness.runner import SimulationResult, run_app, run_pair
+
+FAST = dict(memops_per_core=200)
+APPS = ("radiosity", "blackscholes")
+
+
+class TestRunner:
+    def test_run_app_produces_complete_result(self):
+        result = run_app("radiosity", widir_config(num_cores=8), 200)
+        assert isinstance(result, SimulationResult)
+        assert result.cycles > 0
+        assert result.instructions > 0
+        assert result.mpki > 0
+        assert result.memory_stall_cycles > 0
+        assert set(result.sharer_histogram) == {"0-5", "6-10", "11-25", "26-49", "50+"}
+        assert set(result.hop_histogram) == {"0-2", "3-5", "6-8", "9-11", "12+"}
+        assert result.energy.total > 0
+
+    def test_baseline_has_no_wireless_activity(self):
+        result = run_app("radiosity", baseline_config(num_cores=8), 200)
+        assert result.wireless_writes == 0
+        assert result.collision_probability == 0.0
+        assert result.energy.wnoc == 0.0
+
+    def test_widir_energy_includes_wnoc(self):
+        result = run_app("radiosity", widir_config(num_cores=8), 200)
+        assert result.energy.wnoc > 0
+
+    def test_run_pair_shares_reference_stream(self):
+        base, widir = run_pair("fft", num_cores=8, **FAST)
+        assert base.instructions == widir.instructions
+        assert base.app == widir.app == "fft"
+        assert base.config.protocol == "baseline"
+        assert widir.config.protocol == "widir"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            run_app("doom", widir_config(num_cores=4), 100)
+
+    def test_determinism_across_runs(self):
+        a = run_app("barnes", widir_config(num_cores=8, seed=9), 200)
+        b = run_app("barnes", widir_config(num_cores=8, seed=9), 200)
+        assert a.cycles == b.cycles
+        assert a.stats_counters == b.stats_counters
+
+    def test_derived_metrics_consistent(self):
+        result = run_app("fft", widir_config(num_cores=8), 200)
+        assert result.misses == result.read_misses + result.write_misses
+        assert result.mpki == pytest.approx(
+            1000.0 * result.misses / result.instructions
+        )
+        assert (
+            result.total_memory_latency
+            == result.load_latency_total + result.store_latency_total
+        )
+        assert 0.0 <= result.memory_stall_fraction <= 1.0
+
+
+class TestFigures:
+    def test_table4_rows_per_app(self):
+        figure = table4_mpki_characterization(apps=APPS, num_cores=8, memops=150)
+        assert [row[0] for row in figure.rows] == list(APPS)
+        assert all(row[1] >= 0 for row in figure.rows)
+        assert "Table IV" in figure.text
+
+    def test_figure5_fractions_normalized(self):
+        figure = figure5_sharer_histogram(apps=("radiosity",), num_cores=8, memops=200)
+        fractions = figure.rows[0][1:]
+        assert abs(sum(fractions) - 1.0) < 1e-9 or sum(fractions) == 0.0
+
+    def test_figure6_normalized_to_baseline(self):
+        figure = figure6_mpki(apps=("radiosity",), num_cores=8, memops=200)
+        app_row = figure.rows[0]
+        base_total = app_row[1] + app_row[2]
+        assert base_total == pytest.approx(1.0)
+        assert figure.rows[-1][0] == "geomean"
+
+    def test_table5_distribution_sums_to_one(self):
+        figure = table5_hop_distribution(apps=("fft",), num_cores=16, memops=150)
+        assert sum(row[1] for row in figure.rows) == pytest.approx(1.0)
+
+
+class TestMotivationProbe:
+    def test_probe_reports_both_metrics(self):
+        result = section2c_sharing_probe(apps=["radiosity"], num_cores=32, memops=400)
+        assert result.avg_sharers > 1.0
+        assert 0.0 <= result.avg_reread <= 1.0
+        assert "Section II-C" in result.text
+
+    def test_wide_sharing_app_accumulates_many_sharers(self):
+        wide = section2c_sharing_probe(apps=["radiosity"], num_cores=64, memops=400)
+        # Update-mode sharing accumulates double-digit sharer counts on a
+        # 64-core machine (the paper reports ~21 on average).
+        assert wide.avg_sharers > 5

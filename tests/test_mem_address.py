@@ -1,0 +1,69 @@
+"""Tests for address decomposition and home mapping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.errors import ConfigurationError
+from repro.mem.address import AddressMap
+
+
+class TestDecomposition:
+    def test_line_of_strips_offset(self):
+        amap = AddressMap(64, 16)
+        assert amap.line_of(0x1000) == 0x40
+        assert amap.line_of(0x103F) == 0x40
+        assert amap.line_of(0x1040) == 0x41
+
+    def test_base_of_inverts_line_of(self):
+        amap = AddressMap(64, 16)
+        for address in (0, 0x1234, 0xFFFF8):
+            line = amap.line_of(address)
+            assert amap.line_of(amap.base_of(line)) == line
+
+    def test_word_of_is_8_byte_granular(self):
+        amap = AddressMap(64, 16)
+        assert amap.word_of(0x1000) == 0
+        assert amap.word_of(0x1008) == 1
+        assert amap.word_of(0x1038) == 7
+
+    def test_words_per_line(self):
+        assert AddressMap(64, 16).words_per_line() == 8
+        assert AddressMap(128, 16).words_per_line() == 16
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap(96, 16)
+
+
+class TestHomeMapping:
+    @given(st.integers(0, 2**40), st.sampled_from([4, 8, 16, 32, 64]))
+    @settings(max_examples=100, deadline=None)
+    def test_property_home_in_range(self, line, cores):
+        amap = AddressMap(64, cores)
+        assert 0 <= amap.home_of(line) < cores
+
+    @given(st.integers(0, 2**40))
+    @settings(max_examples=50, deadline=None)
+    def test_property_controller_in_range(self, line):
+        amap = AddressMap(64, 16, num_memory_controllers=4)
+        assert 0 <= amap.controller_of(line) < 4
+
+    def test_home_mapping_is_stable(self):
+        amap = AddressMap(64, 16)
+        assert amap.home_of(12345) == amap.home_of(12345)
+
+    def test_strided_lines_spread_over_homes(self):
+        """The regression this mapping exists for: every core's i-th private
+        line used to collide on one home slice under modulo interleaving."""
+        amap = AddressMap(64, 16)
+        # 64 cores' "line i" at a 16384-line stride (1 MiB regions).
+        homes = [amap.home_of(0x400000 + core * 16384) for core in range(64)]
+        # They must not all land on one home (modulo mapping put them on 1).
+        assert len(set(homes)) > 4
+
+    def test_sequential_lines_spread_over_homes(self):
+        amap = AddressMap(64, 16)
+        homes = [amap.home_of(line) for line in range(4096)]
+        counts = {h: homes.count(h) for h in set(homes)}
+        # Roughly balanced: no slice should own more than 2x its fair share.
+        assert max(counts.values()) < 2 * (4096 / 16)

@@ -1,0 +1,168 @@
+"""Unit and property tests for the set-associative cache array."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.errors import SimulationError
+from repro.mem.cache_array import CacheArray
+
+
+def make_array(num_sets=4, associativity=2):
+    return CacheArray(num_sets, associativity)
+
+
+class TestBasics:
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(SimulationError):
+            CacheArray(3, 2)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(SimulationError):
+            CacheArray(4, 0)
+
+    def test_insert_then_lookup(self):
+        array = make_array()
+        array.insert(0x10, "S")
+        entry = array.lookup(0x10)
+        assert entry is not None
+        assert entry.state == "S"
+        assert 0x10 in array
+
+    def test_lookup_missing_returns_none(self):
+        array = make_array()
+        assert array.lookup(0x99) is None
+        assert 0x99 not in array
+
+    def test_double_insert_rejected(self):
+        array = make_array()
+        array.insert(0x10, "S")
+        with pytest.raises(SimulationError):
+            array.insert(0x10, "M")
+
+    def test_remove_returns_final_contents(self):
+        array = make_array()
+        entry = array.insert(0x10, "M")
+        entry.data[3] = 42
+        removed = array.remove(0x10)
+        assert removed.data == {3: 42}
+        assert 0x10 not in array
+
+    def test_remove_missing_raises(self):
+        array = make_array()
+        with pytest.raises(SimulationError):
+            array.remove(0x10)
+
+    def test_insert_into_full_set_raises(self):
+        array = make_array(num_sets=4, associativity=2)
+        array.insert(0, "S")
+        array.insert(4, "S")  # same set (line % 4 == 0)
+        with pytest.raises(SimulationError):
+            array.insert(8, "S")
+
+
+class TestVictimSelection:
+    def test_no_victim_needed_when_room(self):
+        array = make_array()
+        array.insert(0, "S")
+        assert not array.needs_victim(4)
+        assert array.victim_for(4) is None
+
+    def test_victim_is_lru(self):
+        array = make_array(num_sets=1, associativity=2)
+        array.insert(10, "S")
+        array.insert(20, "S")
+        array.lookup(10)  # 10 becomes MRU; 20 is now LRU
+        victim = array.victim_for(30)
+        assert victim.line == 20
+
+    def test_lookup_without_touch_preserves_lru(self):
+        array = make_array(num_sets=1, associativity=2)
+        array.insert(10, "S")
+        array.insert(20, "S")
+        array.lookup(10, touch=False)
+        victim = array.victim_for(30)
+        assert victim.line == 10  # still LRU
+
+    def test_pinned_lines_skipped(self):
+        array = make_array(num_sets=1, associativity=2)
+        a = array.insert(10, "S")
+        array.insert(20, "S")
+        a.pinned += 1
+        victim = array.victim_for(30)
+        assert victim.line == 20
+
+    def test_all_pinned_raises(self):
+        array = make_array(num_sets=1, associativity=2)
+        array.insert(10, "S").pinned += 1
+        array.insert(20, "S").pinned += 1
+        with pytest.raises(SimulationError):
+            array.victim_for(30)
+
+    def test_resident_line_never_needs_victim(self):
+        array = make_array(num_sets=1, associativity=1)
+        array.insert(10, "S")
+        assert not array.needs_victim(10)
+
+
+class TestIteration:
+    def test_lines_iterates_all(self):
+        array = make_array(num_sets=4, associativity=2)
+        for line in range(8):
+            array.insert(line, "S")
+        assert sorted(e.line for e in array.lines()) == list(range(8))
+
+    def test_ways_of_lru_order(self):
+        array = make_array(num_sets=1, associativity=3)
+        for line in (1, 2, 3):
+            array.insert(line, "S")
+        array.lookup(1)
+        assert [e.line for e in array.ways_of(0)] == [2, 3, 1]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "lookup", "remove"]), st.integers(0, 63)),
+        max_size=120,
+    )
+)
+def test_property_occupancy_and_capacity(ops):
+    """Invariants: set occupancy never exceeds associativity; resident set
+    always matches the reference model."""
+    array = CacheArray(num_sets=4, associativity=2)
+    reference = set()
+    for op, line in ops:
+        if op == "insert" and line not in reference:
+            if array.needs_victim(line):
+                victim = array.victim_for(line)
+                array.remove(victim.line)
+                reference.discard(victim.line)
+            array.insert(line, "S")
+            reference.add(line)
+        elif op == "lookup":
+            entry = array.lookup(line)
+            assert (entry is not None) == (line in reference)
+        elif op == "remove" and line in reference:
+            array.remove(line)
+            reference.discard(line)
+        assert len(array) == len(reference)
+        for s in range(4):
+            assert array.set_occupancy(s) <= 2
+    assert sorted(e.line for e in array.lines()) == sorted(reference)
+
+
+@settings(max_examples=40, deadline=None)
+@given(touches=st.lists(st.integers(0, 3), min_size=4, max_size=40))
+def test_property_victim_is_least_recently_touched(touches):
+    """The victim in a single set is always the least recently used line."""
+    array = CacheArray(num_sets=1, associativity=4)
+    lines = [10, 20, 30, 40]
+    for line in lines:
+        array.insert(line, "S")
+    order = list(lines)  # LRU -> MRU
+    for index in touches:
+        line = lines[index]
+        array.lookup(line)
+        order.remove(line)
+        order.append(line)
+    assert array.victim_for(99).line == order[0]

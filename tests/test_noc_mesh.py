@@ -1,0 +1,123 @@
+"""Tests for the transaction-level mesh network model."""
+
+import pytest
+
+from repro.config.system import NocConfig
+from repro.engine.simulator import Simulator
+from repro.noc.mesh import MeshNetwork
+from repro.noc.message import Message
+from repro.noc.topology import MeshTopology
+from repro.stats.collectors import StatsRegistry
+
+
+def make_network(num_nodes=16, width=4, contention=True):
+    sim = Simulator()
+    topology = MeshTopology(num_nodes, width)
+    config = NocConfig(model_contention=contention)
+    stats = StatsRegistry()
+    network = MeshNetwork(sim, topology, config, stats)
+    return sim, network, stats
+
+
+def attach_collector(network, num_nodes):
+    received = []
+    for node in range(num_nodes):
+        network.register_handler(
+            node, lambda msg, node=node: received.append((node, msg))
+        )
+    return received
+
+
+class TestDelivery:
+    def test_message_reaches_destination(self):
+        sim, network, _ = make_network()
+        received = attach_collector(network, 16)
+        network.send(Message("GetS", 0, 15, 0x40))
+        sim.run()
+        assert [(n, m.kind) for n, m in received] == [(15, "GetS")]
+
+    def test_latency_grows_with_distance(self):
+        sim, network, _ = make_network(contention=False)
+        received = attach_collector(network, 16)
+        times = {}
+        for dst in (1, 15):
+            network.send(Message("GetS", 0, dst, 0x40))
+        sim.run()
+        for node, msg in received:
+            times[node] = sim.now  # not per-message; use estimate instead
+        assert network.latency_estimate(0, 15) > network.latency_estimate(0, 1)
+
+    def test_data_messages_slower_than_control(self):
+        _, network, _ = make_network()
+        assert network.latency_estimate(0, 5, carries_data=True) > (
+            network.latency_estimate(0, 5, carries_data=False)
+        )
+
+    def test_self_send_delivered(self):
+        sim, network, _ = make_network()
+        received = attach_collector(network, 16)
+        network.send(Message("PutAck", 3, 3, 0x40))
+        sim.run()
+        assert received[0][0] == 3
+
+    def test_unregistered_destination_raises(self):
+        sim, network, _ = make_network()
+        network.send(Message("GetS", 0, 9, 0x40))
+        with pytest.raises(KeyError):
+            sim.run()
+
+
+class TestOrdering:
+    def test_same_pair_fifo_despite_extra_delay(self):
+        """A message sent later with a smaller processing delay must not
+        overtake an earlier one — the coherence protocol depends on it."""
+        sim, network, _ = make_network()
+        order = []
+        network.register_handler(5, lambda msg: order.append(msg.kind))
+        for _ in range(16):
+            network.register_handler(
+                5, lambda msg: order.append(msg.kind)
+            )
+        network.send(Message("DataE", 0, 5, 0x40), extra_delay=12)
+        network.send(Message("FwdGetX", 0, 5, 0x40), extra_delay=1)
+        sim.run()
+        assert order == ["DataE", "FwdGetX"]
+
+    def test_fifo_across_many_messages(self):
+        sim, network, _ = make_network()
+        order = []
+        network.register_handler(10, lambda msg: order.append(msg.payload["i"]))
+        for i in range(20):
+            delay = 12 if i % 2 == 0 else 0
+            network.send(Message("GetS", 3, 10, 0x40, {"i": i}), extra_delay=delay)
+        sim.run()
+        assert order == list(range(20))
+
+
+class TestStatistics:
+    def test_hop_histogram_records_legs(self):
+        sim, network, stats = make_network(num_nodes=64, width=8)
+        received = attach_collector(network, 64)
+        network.send(Message("GetS", 0, 63, 0x40))  # 14 hops -> 12+ bin
+        network.send(Message("GetS", 0, 1, 0x40))   # 1 hop  -> 0-2 bin
+        sim.run()
+        hist = stats.histogram("noc.hops_per_leg", ())
+        assert hist.counts[0] == 1  # 0-2
+        assert hist.counts[4] == 1  # 12+
+
+    def test_average_hops(self):
+        sim, network, stats = make_network()
+        attach_collector(network, 16)
+        network.send(Message("GetS", 0, 3, 0x40))  # 3 hops
+        network.send(Message("GetS", 0, 1, 0x40))  # 1 hop
+        sim.run()
+        assert network.average_hops() == pytest.approx(2.0)
+
+    def test_contention_adds_queueing(self):
+        sim, network, stats = make_network()
+        attach_collector(network, 16)
+        # Hammer one link with data messages back to back.
+        for _ in range(10):
+            network.send(Message("Data", 0, 1, 0x40, {"data": {}}))
+        sim.run()
+        assert stats.get_counter("noc.queueing_cycles") > 0

@@ -1,0 +1,88 @@
+"""Unit and property tests for mesh geometry and XY routing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.errors import ConfigurationError
+from repro.noc.topology import MeshTopology
+
+
+class TestGeometry:
+    def test_coordinates_roundtrip(self):
+        mesh = MeshTopology(16, 4)
+        for node in range(16):
+            x, y = mesh.coordinates_of(node)
+            assert mesh.node_at(x, y) == node
+
+    def test_invalid_node_rejected(self):
+        mesh = MeshTopology(16, 4)
+        with pytest.raises(ConfigurationError):
+            mesh.coordinates_of(16)
+        with pytest.raises(ConfigurationError):
+            mesh.coordinates_of(-1)
+
+    def test_rejects_empty_mesh(self):
+        with pytest.raises(ConfigurationError):
+            MeshTopology(0, 4)
+
+    def test_diameter_of_square_mesh(self):
+        mesh = MeshTopology(64, 8)
+        assert mesh.diameter() == 14  # corner to corner of 8x8
+
+    def test_neighbors_interior_node(self):
+        mesh = MeshTopology(16, 4)
+        assert sorted(mesh.neighbors(5)) == [1, 4, 6, 9]
+
+    def test_neighbors_corner_node(self):
+        mesh = MeshTopology(16, 4)
+        assert sorted(mesh.neighbors(0)) == [1, 4]
+
+
+class TestRouting:
+    def test_route_self_is_empty(self):
+        mesh = MeshTopology(16, 4)
+        assert mesh.route(5, 5) == []
+
+    def test_route_length_equals_hops(self):
+        mesh = MeshTopology(64, 8)
+        for src, dst in [(0, 63), (7, 56), (10, 45), (3, 3)]:
+            assert len(mesh.route(src, dst)) == mesh.hops(src, dst)
+
+    def test_route_is_x_then_y(self):
+        mesh = MeshTopology(16, 4)
+        links = mesh.route(0, 15)  # (0,0) -> (3,3)
+        xs = [mesh.coordinates_of(b)[0] for _, b in links]
+        # X coordinate reaches its target before Y moves begin.
+        first_y_move = next(
+            i for i, (a, b) in enumerate(links)
+            if mesh.coordinates_of(a)[1] != mesh.coordinates_of(b)[1]
+        )
+        assert all(x == 3 for x in xs[first_y_move:])
+
+    def test_route_links_are_adjacent(self):
+        mesh = MeshTopology(32, 8)
+        for a, b in mesh.route(0, 31):
+            assert b in set(mesh.neighbors(a))
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        num=st.sampled_from([4, 8, 16, 32, 64]),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_hops_symmetric_and_bounded(self, num, seed):
+        width = {4: 2, 8: 4, 16: 4, 32: 8, 64: 8}[num]
+        mesh = MeshTopology(num, width)
+        src = seed % num
+        dst = (seed // num) % num
+        hops = mesh.hops(src, dst)
+        assert hops == mesh.hops(dst, src)
+        assert 0 <= hops <= mesh.diameter()
+        assert (hops == 0) == (src == dst)
+
+    @settings(max_examples=60, deadline=None)
+    @given(num=st.sampled_from([16, 64]), seed=st.integers(0, 10_000))
+    def test_property_triangle_inequality(self, num, seed):
+        width = 4 if num == 16 else 8
+        mesh = MeshTopology(num, width)
+        a, b, c = seed % num, (seed // 7) % num, (seed // 97) % num
+        assert mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c)

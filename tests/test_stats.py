@@ -1,0 +1,140 @@
+"""Tests for the statistics collectors and report rendering."""
+
+from hypothesis import given, strategies as st
+
+from repro.stats.collectors import (
+    BinnedHistogram,
+    Counter,
+    ExactHistogram,
+    LatencyStat,
+    StatsRegistry,
+)
+from repro.stats.report import format_table, normalize
+
+
+class TestCounter:
+    def test_add_and_reset(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestLatencyStat:
+    def test_accumulation(self):
+        stat = LatencyStat("lat")
+        for value in (10, 20, 30):
+            stat.record(value)
+        assert stat.count == 3
+        assert stat.total == 60
+        assert stat.mean == 20
+        assert stat.min == 10
+        assert stat.max == 30
+
+    def test_empty_mean_is_zero(self):
+        assert LatencyStat("lat").mean == 0.0
+
+    def test_merge(self):
+        a, b = LatencyStat("a"), LatencyStat("b")
+        a.record(5)
+        b.record(15)
+        a.merge(b)
+        assert a.count == 2
+        assert a.total == 20
+        assert a.min == 5
+        assert a.max == 15
+
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=50))
+    def test_property_bounds(self, values):
+        stat = LatencyStat("lat")
+        for value in values:
+            stat.record(value)
+        assert stat.min == min(values)
+        assert stat.max == max(values)
+        assert stat.total == sum(values)
+
+
+class TestBinnedHistogram:
+    BINS = ((0, 5), (6, 10), (11, 25), (26, 49), (50, None))
+
+    def test_paper_bins(self):
+        hist = BinnedHistogram("sharers", self.BINS)
+        for value in (0, 5, 6, 25, 49, 50, 1000):
+            hist.record(value)
+        assert hist.counts == [2, 1, 1, 1, 2]
+        assert hist.total == 7
+
+    def test_fractions_sum_to_one(self):
+        hist = BinnedHistogram("sharers", self.BINS)
+        for value in range(100):
+            hist.record(value)
+        assert abs(sum(hist.fractions()) - 1.0) < 1e-9
+
+    def test_labels(self):
+        hist = BinnedHistogram("sharers", self.BINS)
+        assert hist.labels() == ["0-5", "6-10", "11-25", "26-49", "50+"]
+
+    def test_empty_fractions(self):
+        hist = BinnedHistogram("sharers", self.BINS)
+        assert hist.fractions() == [0.0] * 5
+
+    @given(st.lists(st.integers(0, 200), max_size=100))
+    def test_property_total_conservation(self, values):
+        hist = BinnedHistogram("h", self.BINS)
+        for value in values:
+            hist.record(value)
+        assert hist.total == len(values)
+
+
+class TestExactHistogram:
+    def test_mean(self):
+        hist = ExactHistogram("h")
+        hist.record(2, weight=3)
+        hist.record(8)
+        assert hist.total == 4
+        assert hist.mean() == (2 * 3 + 8) / 4
+
+    def test_items_sorted(self):
+        hist = ExactHistogram("h")
+        for value in (5, 1, 9, 1):
+            hist.record(value)
+        assert list(hist.items()) == [(1, 2), (5, 1), (9, 1)]
+
+
+class TestStatsRegistry:
+    def test_same_name_returns_same_collector(self):
+        registry = StatsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.latency("l") is registry.latency("l")
+
+    def test_get_counter_default_zero(self):
+        registry = StatsRegistry()
+        assert registry.get_counter("missing") == 0
+
+    def test_counters_snapshot(self):
+        registry = StatsRegistry()
+        registry.counter("a").add(3)
+        registry.counter("b").add(1)
+        assert registry.counters() == {"a": 3, "b": 1}
+
+
+class TestReport:
+    def test_normalize(self):
+        out = normalize({"x": 50, "y": 10}, {"x": 100, "y": 0})
+        assert out == {"x": 0.5, "y": 0.0}
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["app", "value"], [["radiosity", 0.78], ["fft", 1.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "radiosity" in text
+        assert "0.780" in text
+
+    def test_format_table_mixed_types(self):
+        text = format_table(["a"], [[1], [2.5], ["x"]])
+        assert "2.500" in text
+        assert "x" in text

@@ -1,0 +1,72 @@
+"""Tests for the sweep utilities."""
+
+import pytest
+
+from repro.config import widir_config
+from repro.harness.sweeps import (
+    label_for,
+    speedup_table,
+    sweep_config_field,
+    sweep_core_counts,
+    sweep_protocols,
+    sweep_thresholds,
+)
+
+
+class TestLabels:
+    def test_widir_label_includes_threshold(self):
+        config = widir_config(num_cores=8, max_wired_sharers=4)
+        assert label_for("fft", config) == "fft/widir/8c/t4"
+
+    def test_baseline_label(self):
+        from repro.config import baseline_config
+
+        assert label_for("fft", baseline_config(num_cores=8)) == "fft/baseline/8c"
+
+
+class TestSweeps:
+    def test_protocol_sweep_runs_both_machines(self):
+        seen = []
+        results = sweep_protocols(
+            ["volrend"], num_cores=8, memops=150, progress=seen.append
+        )
+        assert len(results) == 2
+        assert len(seen) == 2
+        assert any("/baseline/" in label for label in results)
+        assert any("/widir/" in label for label in results)
+
+    def test_core_count_sweep(self):
+        results = sweep_core_counts("volrend", (4, 8), memops=150)
+        assert len(results) == 4
+        cores_seen = {r.config.num_cores for r in results.values()}
+        assert cores_seen == {4, 8}
+
+    def test_threshold_sweep(self):
+        results = sweep_thresholds("volrend", (2, 3), num_cores=8, memops=150)
+        assert len(results) == 2
+        thresholds = {
+            r.config.directory.max_wired_sharers for r in results.values()
+        }
+        assert thresholds == {2, 3}
+
+    def test_config_field_sweep_nested(self):
+        base = widir_config(num_cores=8)
+        results = sweep_config_field(
+            "volrend", base, "wireless.data_transfer_cycles", (2, 4), memops=150
+        )
+        assert set(results) == {
+            "volrend/wireless.data_transfer_cycles=2",
+            "volrend/wireless.data_transfer_cycles=4",
+        }
+
+    def test_config_field_sweep_rejects_deep_paths(self):
+        with pytest.raises(ValueError):
+            sweep_config_field(
+                "volrend", widir_config(num_cores=8), "a.b.c", (1,), memops=100
+            )
+
+    def test_speedup_table_pairs_protocols(self):
+        results = sweep_protocols(["volrend"], num_cores=8, memops=150)
+        table = speedup_table(results)
+        assert "volrend" in table
+        assert table["volrend"] > 0

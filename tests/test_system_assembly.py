@@ -1,0 +1,93 @@
+"""Tests for the Manycore assembly: routing, wiring, and determinism."""
+
+import pytest
+
+from repro.coherence import messages as mk
+from repro.config import baseline_config, widir_config
+from repro.noc.message import Message
+from repro.system import Manycore
+from repro.wireless.frames import WirelessFrame
+
+
+class TestConstruction:
+    def test_one_controller_pair_per_tile(self):
+        machine = Manycore(widir_config(num_cores=8))
+        assert len(machine.caches) == 8
+        assert len(machine.directories) == 8
+        assert len(machine.memory_controllers) == 4
+
+    def test_baseline_has_no_wireless_parts(self):
+        machine = Manycore(baseline_config(num_cores=8))
+        assert machine.wireless is None
+        assert machine.tone is None
+        for cache in machine.caches:
+            assert cache.wireless is None
+
+    def test_widir_shares_one_channel(self):
+        machine = Manycore(widir_config(num_cores=8))
+        channels = {id(cache.wireless) for cache in machine.caches}
+        channels |= {id(d.wireless) for d in machine.directories}
+        assert channels == {id(machine.wireless)}
+
+    def test_invalid_config_rejected_at_construction(self):
+        from dataclasses import replace
+        from repro.engine.errors import ConfigurationError
+
+        bad = replace(widir_config(num_cores=8), protocol="nonsense")
+        with pytest.raises(ConfigurationError):
+            Manycore(bad)
+
+
+class TestMessageRouting:
+    def test_directory_kinds_reach_directory(self):
+        machine = Manycore(baseline_config(num_cores=4))
+        hits = []
+        directory = machine.directories[2]
+        original = directory.handle_message
+        directory.handle_message = lambda m: hits.append(m.kind) or original(m)
+        machine.mesh.send(Message(mk.PUTS, 0, 2, 0x40))
+        machine.run(max_events=10_000)
+        assert hits == [mk.PUTS]
+
+    def test_cache_kinds_reach_cache(self):
+        machine = Manycore(baseline_config(num_cores=4))
+        hits = []
+        cache = machine.caches[3]
+        original = cache.handle_message
+        cache.handle_message = lambda m: hits.append(m.kind) or original(m)
+        machine.mesh.send(Message(mk.PUT_ACK, 0, 3, 0x40))
+        machine.run(max_events=10_000)
+        assert hits == [mk.PUT_ACK]
+
+    def test_frames_reach_both_cache_and_directory(self):
+        machine = Manycore(widir_config(num_cores=4))
+        seen = []
+        cache, directory = machine.caches[1], machine.directories[1]
+        cache_orig, dir_orig = cache.handle_frame, directory.handle_frame
+        cache.handle_frame = lambda f: seen.append("cache") or cache_orig(f)
+        directory.handle_frame = lambda f: seen.append("dir") or dir_orig(f)
+        machine.wireless.transmit(WirelessFrame(mk.WIR_UPD, 0, 0x40, 0, 1))
+        machine.run(max_events=10_000)
+        assert seen == ["cache", "dir"]
+
+
+class TestDeterminismAcrossBuilds:
+    def test_same_seed_same_machine_behaviour(self):
+        def run_once():
+            machine = Manycore(widir_config(num_cores=8, seed=77))
+            done = []
+            for core in range(8):
+                machine.caches[core].rmw(0x9000, lambda _o, c=core: done.append(c))
+            machine.run(max_events=50_000_000)
+            return machine.sim.now, machine.sim.events_executed, tuple(done)
+
+        assert run_once() == run_once()
+
+    def test_different_core_counts_are_independent(self):
+        small = Manycore(widir_config(num_cores=4, seed=1))
+        large = Manycore(widir_config(num_cores=16, seed=1))
+        for machine in (small, large):
+            out = []
+            machine.caches[0].store(0x5000, 1, lambda: out.append(1))
+            machine.run(max_events=1_000_000)
+            assert out == [1]

@@ -1,0 +1,57 @@
+"""Tests for the result cross-validation helpers."""
+
+import pytest
+
+from repro.config import baseline_config, widir_config
+from repro.harness.runner import run_app
+from repro.harness.validate import validate_result, warnings_only
+
+
+@pytest.fixture(scope="module")
+def widir_result():
+    return run_app("radiosity", widir_config(num_cores=8), 300)
+
+
+@pytest.fixture(scope="module")
+def baseline_result():
+    return run_app("radiosity", baseline_config(num_cores=8), 300)
+
+
+class TestValidation:
+    def test_clean_widir_run_has_no_warnings(self, widir_result):
+        assert warnings_only(validate_result(widir_result)) == []
+
+    def test_clean_baseline_run_has_no_warnings(self, baseline_result):
+        assert warnings_only(validate_result(baseline_result)) == []
+
+    def test_widir_run_reports_channel_info(self, widir_result):
+        findings = validate_result(widir_result)
+        assert any(
+            f.severity == "info" and "wireless" in f.message for f in findings
+        )
+
+    def test_forged_wireless_writes_on_baseline_flagged(self, baseline_result):
+        baseline_result.wireless_writes = 5
+        findings = warnings_only(validate_result(baseline_result))
+        assert any("baseline machine reports wireless" in f.message for f in findings)
+        baseline_result.wireless_writes = 0
+
+    def test_forged_missing_histogram_flagged(self, widir_result):
+        saved = dict(widir_result.sharer_histogram)
+        try:
+            for key in widir_result.sharer_histogram:
+                widir_result.sharer_histogram[key] = 0
+            if widir_result.wireless_writes:
+                findings = warnings_only(validate_result(widir_result))
+                assert any("histogram" in f.message for f in findings)
+        finally:
+            widir_result.sharer_histogram.update(saved)
+
+    def test_forged_excess_stall_flagged(self, widir_result):
+        saved = widir_result.memory_stall_cycles
+        try:
+            widir_result.memory_stall_cycles = 10**12
+            findings = warnings_only(validate_result(widir_result))
+            assert any("stall cycles exceed" in f.message for f in findings)
+        finally:
+            widir_result.memory_stall_cycles = saved

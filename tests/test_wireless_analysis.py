@@ -1,0 +1,92 @@
+"""Tests for the analytical wireless channel model, cross-checked against
+the event-driven simulator."""
+
+import pytest
+
+from repro.config.system import WirelessConfig
+from repro.engine.rng import DeterministicRng
+from repro.engine.simulator import Simulator
+from repro.stats.collectors import StatsRegistry
+from repro.wireless.analysis import (
+    channel_capacity,
+    collision_probability,
+    estimate_channel,
+    expected_write_cycles,
+    tone_ack_latency,
+)
+from repro.wireless.channel import WirelessDataChannel
+from repro.wireless.frames import WirelessFrame
+
+
+class TestClosedForms:
+    def test_capacity_is_inverse_frame_time(self):
+        config = WirelessConfig()
+        assert channel_capacity(config) == pytest.approx(1.0 / 6.0)
+
+    def test_collision_probability_monotone_in_contenders(self):
+        values = [collision_probability(n) for n in (1, 2, 4, 8, 16)]
+        assert values[0] == 0.0
+        assert all(a < b for a, b in zip(values, values[1:]))
+        assert values[-1] < 1.0
+
+    def test_expected_cost_grows_with_contention(self):
+        config = WirelessConfig()
+        quiet = expected_write_cycles(config, 1.0)
+        busy = expected_write_cycles(config, 8.0)
+        assert quiet == pytest.approx(2.0)  # header only, no collisions
+        assert busy > 4 * quiet
+
+    def test_estimate_reports_saturation(self):
+        config = WirelessConfig()
+        est = estimate_channel(config, writes_per_cycle=0.5)
+        assert est.utilization > 1.0
+        assert est.collision_probability > 0.5
+
+    def test_tone_ack_independent_of_node_count(self):
+        config = WirelessConfig()
+        assert tone_ack_latency(4, config, 10) == tone_ack_latency(64, config, 10)
+        assert tone_ack_latency(64, config, 10) == 11
+
+
+class TestCrossValidation:
+    """The analytical curve must track the event-driven channel."""
+
+    def _measure(self, num_nodes, interarrival, frames=300):
+        """Offered load: one frame every ``interarrival`` cycles, with a
+        deterministic jitter so senders do not start in lockstep."""
+        sim = Simulator(11)
+        config = WirelessConfig()
+        stats = StatsRegistry()
+        channel = WirelessDataChannel(
+            sim, config, num_nodes, stats, DeterministicRng(5)
+        )
+        channel.register_receiver(0, lambda f: None)
+        jitter = DeterministicRng(9)
+        for i in range(frames):
+            at = i * interarrival + jitter.randint(0, max(1, interarrival // 2))
+            sim.schedule(
+                at,
+                lambda i=i: channel.transmit(
+                    WirelessFrame("WirUpd", i % num_nodes, 0x100 + i % 4, 0, i)
+                ),
+            )
+        sim.run(max_events=5_000_000)
+        return channel.collision_probability
+
+    def test_light_load_has_low_collisions(self):
+        measured = self._measure(num_nodes=4, interarrival=60)
+        assert measured < 0.35
+
+    def test_heavy_load_has_high_collisions(self):
+        light = self._measure(num_nodes=16, interarrival=40)
+        heavy = self._measure(num_nodes=16, interarrival=2)
+        assert heavy > light
+
+    def test_analytical_ordering_matches_simulation(self):
+        config = WirelessConfig()
+        analytic_light = estimate_channel(config, 0.01).collision_probability
+        analytic_heavy = estimate_channel(config, 0.2).collision_probability
+        assert analytic_light < analytic_heavy
+        sim_light = self._measure(num_nodes=8, interarrival=80)
+        sim_heavy = self._measure(num_nodes=8, interarrival=3)
+        assert sim_light < sim_heavy

@@ -1,0 +1,132 @@
+"""Property fuzzing of the wireless channel.
+
+Random interleavings of transmissions, cancellations, and jam/unjam
+windows must preserve the channel's contract: every non-cancelled frame is
+delivered exactly once, no two successful frames overlap in time, and the
+medium never deadlocks while an unjammed frame is pending.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config.system import WirelessConfig
+from repro.engine.rng import DeterministicRng
+from repro.engine.simulator import Simulator
+from repro.stats.collectors import StatsRegistry
+from repro.wireless.channel import WirelessDataChannel
+from repro.wireless.frames import WirelessFrame
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: (at_cycle, node, line_index, action) where action selects transmit /
+#: transmit-then-cancel / jam window toggling.
+EVENTS = st.lists(
+    st.tuples(
+        st.integers(0, 400),
+        st.integers(0, 7),
+        st.integers(0, 3),
+        st.sampled_from(["send", "send_cancel", "jam", "unjam"]),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@SETTINGS
+@given(events=EVENTS, seed=st.integers(0, 1000))
+def test_property_exactly_once_delivery_and_liveness(events, seed):
+    sim = Simulator(seed)
+    config = WirelessConfig()
+    channel = WirelessDataChannel(
+        sim, config, 8, StatsRegistry(), DeterministicRng(seed)
+    )
+    delivered = []
+    channel.register_receiver(0, lambda f: delivered.append(f.value))
+
+    sent = []
+    cancelled = []
+    jam_state = {}
+    token = iter(range(10_000))
+
+    def do(at, node, line_index, action):
+        line = 0x100 + line_index
+
+        def run():
+            if action in ("send", "send_cancel"):
+                value = next(token)
+                request = channel.transmit(
+                    WirelessFrame("WirUpd", node, line, 0, value)
+                )
+                if action == "send_cancel":
+                    if request.cancel():
+                        cancelled.append(value)
+                    else:
+                        sent.append(value)
+                else:
+                    sent.append(value)
+            elif action == "jam":
+                jam_state[line] = True
+                channel.jam(line)
+            else:
+                jam_state.pop(line, None)
+                channel.unjam(line)
+
+        sim.schedule_at(max(at, sim.now) if at >= sim.now else sim.now, run)
+
+    for at, node, line_index, action in sorted(events):
+        do(at, node, line_index, action)
+
+    sim.run(until=100_000, max_events=2_000_000)
+    # Lift any jam still standing so pending frames can drain (liveness).
+    for line in list(jam_state):
+        channel.unjam(line)
+    sim.run(max_events=2_000_000)
+
+    assert sorted(delivered) == sorted(sent), "exactly-once delivery violated"
+    assert not set(delivered) & set(cancelled), "cancelled frame delivered"
+    assert channel.idle, "channel left with stuck pending frames"
+
+
+@SETTINGS
+@given(
+    senders=st.integers(2, 8),
+    frames_per_sender=st.integers(1, 10),
+    seed=st.integers(0, 500),
+)
+def test_property_no_overlapping_successes(senders, frames_per_sender, seed):
+    sim = Simulator(seed)
+    config = WirelessConfig()
+    channel = WirelessDataChannel(
+        sim, config, senders, StatsRegistry(), DeterministicRng(seed)
+    )
+    channel.register_receiver(0, lambda f: None)
+    spans = []
+
+    def track(request_value):
+        start_holder = {}
+
+        def on_commit():
+            start_holder["start"] = sim.now - 2
+
+        def on_delivered():
+            spans.append((start_holder["start"], sim.now))
+
+        return on_commit, on_delivered
+
+    for node in range(senders):
+        for i in range(frames_per_sender):
+            commit_cb, done_cb = track(node * 100 + i)
+            sim.schedule(
+                i,  # all senders contend at the start
+                lambda n=node, i=i, c=commit_cb, d=done_cb: channel.transmit(
+                    WirelessFrame("WirUpd", n, 0x200, 0, n * 100 + i), c, d
+                ),
+            )
+    sim.run(max_events=2_000_000)
+    assert len(spans) == senders * frames_per_sender
+    spans.sort()
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2, f"overlap: ({s1},{e1}) vs ({s2},{e2})"

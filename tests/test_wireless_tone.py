@@ -1,0 +1,96 @@
+"""Tests for the tone channel / ToneAck primitive."""
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.stats.collectors import StatsRegistry
+from repro.wireless.tone import ToneChannel
+
+
+def make_tone(tone_cycles=1):
+    sim = Simulator()
+    return sim, ToneChannel(sim, tone_cycles, StatsRegistry())
+
+
+class TestToneAck:
+    def test_silence_fires_after_all_drops(self):
+        sim, tone = make_tone()
+        fired = []
+        tone.begin(0x40, {0, 1, 2}, lambda: fired.append(sim.now))
+        tone.drop(0x40, 0)
+        tone.drop(0x40, 1)
+        sim.run()
+        assert fired == []
+        tone.drop(0x40, 2)
+        sim.run()
+        assert len(fired) == 1
+
+    def test_detection_latency_applied(self):
+        sim, tone = make_tone(tone_cycles=3)
+        fired = []
+        tone.begin(0x40, {0}, lambda: fired.append(sim.now))
+        sim.schedule(10, lambda: tone.drop(0x40, 0))
+        sim.run()
+        assert fired == [13]  # drop at 10 + 3 cycles to detect silence
+
+    def test_empty_participant_set_completes_immediately(self):
+        sim, tone = make_tone()
+        fired = []
+        tone.begin(0x40, set(), lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1]
+
+    def test_duplicate_drops_are_idempotent(self):
+        sim, tone = make_tone()
+        fired = []
+        tone.begin(0x40, {0, 1}, lambda: fired.append(True))
+        tone.drop(0x40, 0)
+        tone.drop(0x40, 0)
+        tone.drop(0x40, 0)
+        sim.run()
+        assert fired == []
+        tone.drop(0x40, 1)
+        sim.run()
+        assert fired == [True]
+
+    def test_drop_for_unknown_operation_is_harmless(self):
+        sim, tone = make_tone()
+        tone.drop(0x99, 5)  # nothing in flight
+        sim.run()
+
+    def test_late_drop_after_completion_is_harmless(self):
+        sim, tone = make_tone()
+        fired = []
+        tone.begin(0x40, {0}, lambda: fired.append(True))
+        tone.drop(0x40, 0)
+        sim.run()
+        tone.drop(0x40, 3)  # straggler
+        sim.run()
+        assert fired == [True]
+
+    def test_concurrent_operations_on_distinct_lines(self):
+        sim, tone = make_tone()
+        fired = []
+        tone.begin(0x40, {0, 1}, lambda: fired.append(0x40))
+        tone.begin(0x80, {2}, lambda: fired.append(0x80))
+        tone.drop(0x80, 2)
+        sim.run()
+        assert fired == [0x80]
+        tone.drop(0x40, 0)
+        tone.drop(0x40, 1)
+        sim.run()
+        assert fired == [0x80, 0x40]
+
+    def test_double_begin_same_key_rejected(self):
+        sim, tone = make_tone()
+        tone.begin(0x40, {0}, lambda: None)
+        with pytest.raises(KeyError):
+            tone.begin(0x40, {1}, lambda: None)
+
+    def test_in_flight_query(self):
+        sim, tone = make_tone()
+        assert not tone.in_flight(0x40)
+        tone.begin(0x40, {0}, lambda: None)
+        assert tone.in_flight(0x40)
+        tone.drop(0x40, 0)
+        assert not tone.in_flight(0x40)
