@@ -10,6 +10,12 @@ figure       regenerate a paper artifact (fig5..fig10, table4..table6,
              motivation) and print its table
 apps         list the 20 application profiles and their calibration
 =========== ==============================================================
+
+Simulations execute through :mod:`repro.harness.executor`: identical runs
+are deduplicated, results are memoized on disk (``REPRO_CACHE_DIR``,
+bypass with ``--no-cache``), and unique runs fan out over ``--workers``
+processes (default ``REPRO_WORKERS`` or the CPU count) with byte-identical
+output either way. See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -21,9 +27,9 @@ from typing import List, Optional
 
 from repro.config.presets import baseline_config, widir_config
 from repro.harness import figures as figure_functions
+from repro.harness.executor import Executor
 from repro.harness.motivation import section2c_sharing_probe
 from repro.harness.results_io import result_to_dict
-from repro.harness.runner import run_app, run_pair
 from repro.workloads.profiles import ALL_APPS, APP_PROFILES
 
 FIGURES = {
@@ -31,28 +37,38 @@ FIGURES = {
         apps=list(kw["apps"]), num_cores=kw["cores"], memops=kw["memops"]
     ),
     "table4": lambda **kw: figure_functions.table4_mpki_characterization(
-        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"],
+        executor=kw["executor"],
     ),
     "fig5": lambda **kw: figure_functions.figure5_sharer_histogram(
-        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"],
+        executor=kw["executor"],
     ),
     "fig6": lambda **kw: figure_functions.figure6_mpki(
-        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"],
+        executor=kw["executor"],
     ),
     "fig7": lambda **kw: figure_functions.figure7_memory_latency(
-        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"],
+        executor=kw["executor"],
     ),
     "table5": lambda **kw: figure_functions.table5_hop_distribution(
-        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"],
+        executor=kw["executor"],
+    ),
+    "fig8": lambda **kw: figure_functions.figure8_execution_time(
+        apps=kw["apps"], memops=kw["memops"], executor=kw["executor"]
     ),
     "fig9": lambda **kw: figure_functions.figure9_energy(
-        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"],
+        executor=kw["executor"],
     ),
     "fig10": lambda **kw: figure_functions.figure10_scalability(
-        apps=kw["apps"], memops=kw["memops"]
+        apps=kw["apps"], memops=kw["memops"], executor=kw["executor"]
     ),
     "table6": lambda **kw: figure_functions.table6_sensitivity(
-        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"]
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"],
+        executor=kw["executor"],
     ),
 }
 
@@ -63,6 +79,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--memops", type=int, default=800, help="memory references per core"
     )
     parser.add_argument("--seed", type=int, default=42, help="machine seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="simulation worker processes (default: REPRO_WORKERS or CPU "
+        "count; 1 forces the deterministic serial path)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache (REPRO_CACHE_DIR) and "
+        "re-simulate every run",
+    )
+
+
+def _executor_from(args: argparse.Namespace) -> Executor:
+    return Executor(
+        workers=args.workers, use_cache=False if args.no_cache else None
+    )
 
 
 def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
@@ -98,7 +133,7 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     make = widir_config if args.protocol == "widir" else baseline_config
-    result = run_app(
+    result = _executor_from(args).run(
         args.app, make(num_cores=args.cores, seed=args.seed), args.memops
     )
     if args.json:
@@ -115,7 +150,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    base, widir = run_pair(
+    base, widir = _executor_from(args).run_pair(
         args.app, num_cores=args.cores, memops_per_core=args.memops, seed=args.seed
     )
     print(f"{args.app} @ {args.cores} cores ({args.memops} refs/core)")
@@ -134,7 +169,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown apps: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    result = FIGURES[args.name](apps=apps, cores=args.cores, memops=args.memops)
+    result = FIGURES[args.name](
+        apps=apps,
+        cores=args.cores,
+        memops=args.memops,
+        executor=_executor_from(args),
+    )
     if isinstance(result, dict):  # figure8-style multi-table
         for figure in result.values():
             print(figure.text)

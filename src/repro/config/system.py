@@ -8,7 +8,8 @@ benchmarks override individual fields via :func:`dataclasses.replace`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict
 
 from repro.engine.errors import ConfigurationError
 
@@ -236,4 +237,32 @@ class SystemConfig:
         _require(
             self.l1.line_bytes == self.l2.line_bytes,
             "L1 and L2 must use the same line size",
+        )
+
+    # ------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full-fidelity JSON-serializable description of the machine.
+
+        Unlike the summary block embedded in legacy result files, this
+        captures *every* field (nested sections included) so
+        :meth:`from_dict` reconstructs an identical machine — the property
+        the experiment executor's memoization key depends on.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SystemConfig":
+        """Reconstruct a :class:`SystemConfig` saved by :meth:`to_dict`."""
+        return cls(
+            num_cores=payload["num_cores"],
+            protocol=payload["protocol"],
+            core=CoreConfig(**payload["core"]),
+            l1=CacheConfig(**payload["l1"]),
+            l2=CacheConfig(**payload["l2"]),
+            directory=DirectoryConfig(**payload["directory"]),
+            noc=NocConfig(**payload["noc"]),
+            wireless=WirelessConfig(**payload["wireless"]),
+            memory=MemoryConfig(**payload["memory"]),
+            seed=payload["seed"],
         )

@@ -8,6 +8,7 @@ how the wireless channel latencies are expressed).
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Optional
 
 from repro.engine.errors import SimulationError
@@ -57,35 +58,56 @@ class Simulator:
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Drain the event queue; return the final cycle.
 
+        This is the hottest loop in the simulator (profiles put it and the
+        queue operations above 40% of total time for a full run), so it
+        works on the queue's heap directly instead of going through
+        ``peek_time()``/``pop()``: one inline tombstone scan serves both
+        the peek and the pop, and events sharing the current cycle drain in
+        a tight inner loop that skips the redundant ``until`` re-check.
+        Ordering is identical to the method-call path — the heap is ordered
+        by ``(time, seq)`` either way — so determinism is unaffected.
+
         Parameters
         ----------
         until:
             Stop once the next event lies strictly beyond this cycle. The
             clock is left at ``until`` in that case.
         max_events:
-            Safety valve for tests: raise :class:`SimulationError` if more
-            than this many events execute in this call (a runaway protocol
-            loop otherwise spins forever).
+            Safety valve for tests: raise :class:`SimulationError` *before*
+            executing event ``max_events + 1`` in this call, i.e. at most
+            ``max_events`` callbacks run (a runaway protocol loop otherwise
+            spins forever).
         """
         executed_here = 0
         self._stopped = False
-        while True:
-            if self._stopped:
+        queue = self.queue
+        heap = queue._heap  # the list object is stable for the queue's life
+        heappop = heapq.heappop
+        while not self._stopped:
+            # Inline dead-head skip: one scan where peek_time()+pop() did two.
+            while heap and heap[0][2].cancelled:
+                heappop(heap)
+                queue._live -= 1
+            if not heap:
                 break
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
+            now = heap[0][0]
+            if until is not None and now > until:
                 self.now = until
                 break
-            event = self.queue.pop()
-            self.now = event.time
-            event.callback()
-            self._events_executed += 1
-            executed_here += 1
-            if max_events is not None and executed_here > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; "
-                    "likely a livelocked protocol transaction"
-                )
+            self.now = now
+            # Batch-drain every event of the current cycle: the ``until``
+            # bound cannot trip again until the clock advances.
+            while heap and heap[0][0] == now and not self._stopped:
+                event = heappop(heap)[2]
+                queue._live -= 1
+                if event.cancelled:
+                    continue
+                if max_events is not None and executed_here >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "likely a livelocked protocol transaction"
+                    )
+                event.callback()
+                self._events_executed += 1
+                executed_here += 1
         return self.now

@@ -9,6 +9,13 @@ that motivates the design.
 """
 
 from repro.harness.runner import SimulationResult, run_app, run_pair
+from repro.harness.executor import (
+    Executor,
+    ExperimentPlan,
+    RunRequest,
+    default_executor,
+    run_key,
+)
 from repro.harness.report_gen import generate_report
 from repro.harness.results_io import load_results, save_results
 from repro.harness.sweeps import (
@@ -31,7 +38,12 @@ from repro.harness.figures import (
 from repro.harness.motivation import section2c_sharing_probe
 
 __all__ = [
+    "Executor",
+    "ExperimentPlan",
+    "RunRequest",
     "SimulationResult",
+    "default_executor",
+    "run_key",
     "generate_report",
     "load_results",
     "save_results",

@@ -4,6 +4,17 @@ Each function regenerates one artifact of the paper's evaluation section and
 returns a structured result plus a rendered text table (``.text``) printing
 the same rows/series the paper plots. The benchmark suite under
 ``benchmarks/`` calls exactly these functions.
+
+Execution model: every figure *declares* its run matrix as an
+:class:`~repro.harness.executor.ExperimentPlan` and hands it to an
+:class:`~repro.harness.executor.Executor`, which deduplicates identical
+``(app, config, memops, trace_seed)`` requests, satisfies repeats from the
+on-disk memo cache, and fans unique simulations out over worker processes.
+Row values are computed from the executor's canonicalized results, so a
+figure renders byte-identically whether its runs were simulated serially,
+in parallel, or recalled from cache. Pass ``executor=`` to control workers
+and caching explicitly; the default is the process-wide executor
+(``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` aware).
 """
 
 from __future__ import annotations
@@ -11,7 +22,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config.presets import baseline_config, widir_config
-from repro.harness.runner import SimulationResult, run_app, run_pair
+from repro.harness.executor import Executor, ExperimentPlan, default_executor
+from repro.harness.runner import SimulationResult
 from repro.stats.report import format_table
 from repro.workloads.profiles import ALL_APPS
 
@@ -37,6 +49,10 @@ def _apps_or_default(apps: Optional[Iterable[str]]) -> Tuple[str, ...]:
     return tuple(apps) if apps is not None else DEFAULT_APPS
 
 
+def _exe(executor: Optional[Executor]) -> Executor:
+    return executor if executor is not None else default_executor()
+
+
 def _geomean(values: List[float]) -> float:
     positives = [v for v in values if v > 0]
     if not positives:
@@ -47,18 +63,37 @@ def _geomean(values: List[float]) -> float:
     return product ** (1.0 / len(positives))
 
 
+def _pairs(
+    apps: Sequence[str],
+    num_cores: int,
+    memops: Optional[int],
+    executor: Executor,
+) -> List[Tuple[str, SimulationResult, SimulationResult]]:
+    """One Baseline/WiDir pair per app, declared as a single plan."""
+    plan = ExperimentPlan()
+    indices = [
+        (app, plan.add_pair(app, num_cores=num_cores, memops=memops))
+        for app in apps
+    ]
+    results = executor.map_runs(plan)
+    return [(app, results[b], results[w]) for app, (b, w) in indices]
+
+
 # --------------------------------------------------------------- Table IV
 
 def table4_mpki_characterization(
     apps: Optional[Iterable[str]] = None,
     num_cores: int = 64,
     memops: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureResult:
     """Table IV: per-application Baseline L1 MPKI."""
-    rows = []
-    for app in _apps_or_default(apps):
-        result = run_app(app, baseline_config(num_cores=num_cores), memops)
-        rows.append([app, result.mpki])
+    apps = _apps_or_default(apps)
+    plan = ExperimentPlan()
+    for app in apps:
+        plan.add(app, baseline_config(num_cores=num_cores), memops)
+    results = _exe(executor).map_runs(plan)
+    rows = [[app, result.mpki] for app, result in zip(apps, results)]
     text = format_table(
         ["app", "baseline MPKI"], rows, title="Table IV: L1 MPKI in Baseline"
     )
@@ -71,12 +106,17 @@ def figure5_sharer_histogram(
     apps: Optional[Iterable[str]] = None,
     num_cores: int = 64,
     memops: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureResult:
     """Figure 5: sharers updated per wireless write, binned."""
     bins = ["0-5", "6-10", "11-25", "26-49", "50+"]
+    apps = _apps_or_default(apps)
+    plan = ExperimentPlan()
+    for app in apps:
+        plan.add(app, widir_config(num_cores=num_cores), memops)
+    results = _exe(executor).map_runs(plan)
     rows = []
-    for app in _apps_or_default(apps):
-        result = run_app(app, widir_config(num_cores=num_cores), memops)
+    for app, result in zip(apps, results):
         total = sum(result.sharer_histogram.values())
         fractions = [
             (result.sharer_histogram.get(b, 0) / total if total else 0.0)
@@ -97,12 +137,14 @@ def figure6_mpki(
     apps: Optional[Iterable[str]] = None,
     num_cores: int = 64,
     memops: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureResult:
     """Figure 6: MPKI of WiDir vs Baseline, read/write split, normalized."""
     rows = []
     ratios = []
-    for app in _apps_or_default(apps):
-        base, widir = run_pair(app, num_cores, memops)
+    for app, base, widir in _pairs(
+        _apps_or_default(apps), num_cores, memops, _exe(executor)
+    ):
         reference = base.mpki or 1.0
         ratio = widir.mpki / reference if base.mpki else 1.0
         ratios.append(ratio)
@@ -131,12 +173,14 @@ def figure7_memory_latency(
     apps: Optional[Iterable[str]] = None,
     num_cores: int = 64,
     memops: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureResult:
     """Figure 7: total memory-operation latency, load/store split, normalized."""
     rows = []
     ratios = []
-    for app in _apps_or_default(apps):
-        base, widir = run_pair(app, num_cores, memops)
+    for app, base, widir in _pairs(
+        _apps_or_default(apps), num_cores, memops, _exe(executor)
+    ):
         reference = base.total_memory_latency or 1
         ratio = widir.total_memory_latency / reference
         ratios.append(ratio)
@@ -165,12 +209,17 @@ def table5_hop_distribution(
     apps: Optional[Iterable[str]] = None,
     num_cores: int = 64,
     memops: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureResult:
     """Table V: wired hops per coherence leg in the 64-core Baseline."""
     bins = ["0-2", "3-5", "6-8", "9-11", "12+"]
+    apps = _apps_or_default(apps)
+    plan = ExperimentPlan()
+    for app in apps:
+        plan.add(app, baseline_config(num_cores=num_cores), memops)
+    results = _exe(executor).map_runs(plan)
     totals = {b: 0 for b in bins}
-    for app in _apps_or_default(apps):
-        result = run_app(app, baseline_config(num_cores=num_cores), memops)
+    for result in results:
         for b in bins:
             totals[b] += result.hop_histogram.get(b, 0)
     grand = sum(totals.values()) or 1
@@ -189,14 +238,27 @@ def figure8_execution_time(
     apps: Optional[Iterable[str]] = None,
     core_counts: Sequence[int] = (64, 32, 16),
     memops: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> Dict[int, FigureResult]:
     """Figure 8: normalized execution time with stall/rest breakdown."""
+    apps = _apps_or_default(apps)
+    exe = _exe(executor)
+    # One plan spanning every machine size: repeats against fig6/fig7 (and
+    # between panels) collapse in the executor instead of re-simulating.
+    plan = ExperimentPlan()
+    indices = {
+        (cores, app): plan.add_pair(app, num_cores=cores, memops=memops)
+        for cores in core_counts
+        for app in apps
+    }
+    all_results = exe.map_runs(plan)
     results: Dict[int, FigureResult] = {}
     for cores in core_counts:
         rows = []
         ratios = []
-        for app in _apps_or_default(apps):
-            base, widir = run_pair(app, cores, memops)
+        for app in apps:
+            b, w = indices[(cores, app)]
+            base, widir = all_results[b], all_results[w]
             reference = base.cycles or 1
             ratio = widir.cycles / reference
             ratios.append(ratio)
@@ -239,13 +301,15 @@ def figure9_energy(
     apps: Optional[Iterable[str]] = None,
     num_cores: int = 64,
     memops: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureResult:
     """Figure 9: energy by component, normalized to Baseline."""
     rows = []
     ratios = []
     wnoc_shares = []
-    for app in _apps_or_default(apps):
-        base, widir = run_pair(app, num_cores, memops)
+    for app, base, widir in _pairs(
+        _apps_or_default(apps), num_cores, memops, _exe(executor)
+    ):
         reference = base.energy.total or 1.0
         ratio = widir.energy.total / reference
         ratios.append(ratio)
@@ -286,6 +350,7 @@ def figure10_scalability(
     apps: Optional[Iterable[str]] = None,
     core_counts: Sequence[int] = (4, 8, 16, 32, 64),
     memops: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureResult:
     """Figure 10: speedup vs the 4-core Baseline for both protocols.
 
@@ -303,20 +368,31 @@ def figure10_scalability(
         # core; smaller machines run proportionally more per core.
         return max(150, base_memops * largest // cores)
 
-    base_times: Dict[int, List[float]] = {c: [] for c in core_counts}
-    widir_times: Dict[int, List[float]] = {c: [] for c in core_counts}
-    reference: Dict[str, int] = {}
     smallest = core_counts[0]
-    for app in apps:
-        base4 = run_app(
+    plan = ExperimentPlan()
+    # The per-app reference machine is the smallest Baseline; it coincides
+    # with the smallest sweep point, so the executor runs it exactly once.
+    reference_idx = {
+        app: plan.add(
             app, baseline_config(num_cores=smallest), per_core_work(smallest)
         )
-        reference[app] = base4.cycles
+        for app in apps
+    }
+    pair_idx = {
+        (cores, app): plan.add_pair(app, num_cores=cores, memops=per_core_work(cores))
+        for cores in core_counts
+        for app in apps
+    }
+    all_results = _exe(executor).map_runs(plan)
+
+    base_times: Dict[int, List[float]] = {c: [] for c in core_counts}
+    widir_times: Dict[int, List[float]] = {c: [] for c in core_counts}
+    reference = {app: all_results[i].cycles for app, i in reference_idx.items()}
     for cores in core_counts:
         for app in apps:
-            base, widir = run_pair(app, cores, per_core_work(cores))
-            base_times[cores].append(reference[app] / max(1, base.cycles))
-            widir_times[cores].append(reference[app] / max(1, widir.cycles))
+            b, w = pair_idx[(cores, app)]
+            base_times[cores].append(reference[app] / max(1, all_results[b].cycles))
+            widir_times[cores].append(reference[app] / max(1, all_results[w].cycles))
     rows = []
     for cores in core_counts:
         rows.append(
@@ -341,24 +417,32 @@ def table6_sensitivity(
     thresholds: Sequence[int] = (2, 3, 4, 5),
     num_cores: int = 64,
     memops: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureResult:
     """Table VI: MaxWiredSharers sweep — speedup and collision probability."""
     apps = _apps_or_default(apps)
-    base_cycles: Dict[str, int] = {}
-    for app in apps:
-        base_cycles[app] = run_app(
-            app, baseline_config(num_cores=num_cores), memops
-        ).cycles
+    plan = ExperimentPlan()
+    base_idx = {
+        app: plan.add(app, baseline_config(num_cores=num_cores), memops)
+        for app in apps
+    }
+    widir_idx = {
+        (threshold, app): plan.add(
+            app,
+            widir_config(num_cores=num_cores, max_wired_sharers=threshold),
+            memops,
+        )
+        for threshold in thresholds
+        for app in apps
+    }
+    all_results = _exe(executor).map_runs(plan)
+    base_cycles = {app: all_results[i].cycles for app, i in base_idx.items()}
     rows = []
     for threshold in thresholds:
         speedups = []
         collisions = []
         for app in apps:
-            widir = run_app(
-                app,
-                widir_config(num_cores=num_cores, max_wired_sharers=threshold),
-                memops,
-            )
+            widir = all_results[widir_idx[(threshold, app)]]
             speedups.append(base_cycles[app] / max(1, widir.cycles))
             collisions.append(widir.collision_probability)
         rows.append(

@@ -70,6 +70,60 @@ class SimulationResult:
         self.energy = energy
         self.stats_counters = stats_counters
 
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict:
+        """Full-fidelity JSON-serializable snapshot of this result.
+
+        Round-tripping through :meth:`from_dict` reproduces a result whose
+        ``to_dict()`` output is byte-identical (ints and strings are exact;
+        floats survive JSON via ``repr`` round-tripping) — the contract the
+        experiment executor's on-disk memoization relies on. The legacy
+        human-oriented format lives in :mod:`repro.harness.results_io`.
+        """
+        return {
+            "app": self.app,
+            "config": self.config.to_dict(),
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "memory_stall_cycles": self.memory_stall_cycles,
+            "sync_stall_cycles": self.sync_stall_cycles,
+            "load_latency_total": self.load_latency_total,
+            "store_latency_total": self.store_latency_total,
+            "read_misses": self.read_misses,
+            "write_misses": self.write_misses,
+            "wireless_writes": self.wireless_writes,
+            "sharer_histogram": dict(self.sharer_histogram),
+            "hop_histogram": dict(self.hop_histogram),
+            "collision_probability": self.collision_probability,
+            "energy": self.energy.as_dict(),
+            "stats_counters": dict(self.stats_counters),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SimulationResult":
+        """Reconstruct a result saved by :meth:`to_dict`."""
+        from repro.energy.models import EnergyBreakdown as _EnergyBreakdown
+
+        return cls(
+            app=payload["app"],
+            config=SystemConfig.from_dict(payload["config"]),
+            cycles=payload["cycles"],
+            instructions=payload["instructions"],
+            memory_stall_cycles=payload["memory_stall_cycles"],
+            sync_stall_cycles=payload["sync_stall_cycles"],
+            load_latency_total=payload["load_latency_total"],
+            store_latency_total=payload["store_latency_total"],
+            read_misses=payload["read_misses"],
+            write_misses=payload["write_misses"],
+            wireless_writes=payload["wireless_writes"],
+            sharer_histogram=dict(payload["sharer_histogram"]),
+            hop_histogram=dict(payload["hop_histogram"]),
+            collision_probability=payload["collision_probability"],
+            energy=_EnergyBreakdown(**payload["energy"]),
+            stats_counters=dict(payload["stats_counters"]),
+        )
+
     # ------------------------------------------------------ derived metrics
 
     @property

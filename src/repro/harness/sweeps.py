@@ -4,6 +4,12 @@ Thin, composable helpers for running grids of (application, machine)
 configurations and collecting :class:`~repro.harness.runner.SimulationResult`
 objects keyed by a readable label — the building block behind the
 sensitivity benchmarks and the CLI's batch workflows.
+
+Each helper declares its grid as an
+:class:`~repro.harness.executor.ExperimentPlan` and executes it through an
+:class:`~repro.harness.executor.Executor` (pass ``executor=`` to control
+worker count and caching; defaults to the process-wide executor), so sweep
+points run in parallel and repeated points are memo-cache hits.
 """
 
 from __future__ import annotations
@@ -13,7 +19,12 @@ from typing import Callable, Dict, Iterable, Optional, Sequence
 
 from repro.config.presets import baseline_config, widir_config
 from repro.config.system import SystemConfig
-from repro.harness.runner import SimulationResult, run_app
+from repro.harness.executor import Executor, ExperimentPlan, default_executor
+from repro.harness.runner import SimulationResult
+
+
+def _exe(executor: Optional[Executor]) -> Executor:
+    return executor if executor is not None else default_executor()
 
 
 def label_for(app: str, config: SystemConfig) -> str:
@@ -24,15 +35,33 @@ def label_for(app: str, config: SystemConfig) -> str:
     return "/".join(parts)
 
 
+def _run_labelled(
+    grid: Sequence, executor: Optional[Executor], memops: Optional[int]
+) -> Dict[str, SimulationResult]:
+    """Execute (label, app, config) triples as one plan; label -> result."""
+    plan = ExperimentPlan()
+    indices = [
+        (label, plan.add(app, config, memops)) for label, app, config in grid
+    ]
+    results = _exe(executor).map_runs(plan)
+    return {label: results[index] for label, index in indices}
+
+
 def sweep_protocols(
     apps: Iterable[str],
     num_cores: int = 64,
     memops: Optional[int] = None,
     seed: int = 42,
     progress: Optional[Callable[[str], None]] = None,
+    executor: Optional[Executor] = None,
 ) -> Dict[str, SimulationResult]:
-    """Run every app on both machines; returns label -> result."""
-    results: Dict[str, SimulationResult] = {}
+    """Run every app on both machines; returns label -> result.
+
+    ``progress`` is invoked once per grid point as the plan is *declared*
+    (dispatch order); with a parallel executor the underlying simulations
+    may complete in any order.
+    """
+    grid = []
     for app in apps:
         for config in (
             baseline_config(num_cores=num_cores, seed=seed),
@@ -41,8 +70,8 @@ def sweep_protocols(
             label = label_for(app, config)
             if progress is not None:
                 progress(label)
-            results[label] = run_app(app, config, memops)
-    return results
+            grid.append((label, app, config))
+    return _run_labelled(grid, executor, memops)
 
 
 def sweep_core_counts(
@@ -50,16 +79,18 @@ def sweep_core_counts(
     core_counts: Sequence[int],
     memops: Optional[int] = None,
     seed: int = 42,
+    executor: Optional[Executor] = None,
 ) -> Dict[str, SimulationResult]:
     """One app across machine sizes, both protocols."""
-    results: Dict[str, SimulationResult] = {}
-    for cores in core_counts:
+    grid = [
+        (label_for(app, config), app, config)
+        for cores in core_counts
         for config in (
             baseline_config(num_cores=cores, seed=seed),
             widir_config(num_cores=cores, seed=seed),
-        ):
-            results[label_for(app, config)] = run_app(app, config, memops)
-    return results
+        )
+    ]
+    return _run_labelled(grid, executor, memops)
 
 
 def sweep_thresholds(
@@ -68,15 +99,16 @@ def sweep_thresholds(
     num_cores: int = 64,
     memops: Optional[int] = None,
     seed: int = 42,
+    executor: Optional[Executor] = None,
 ) -> Dict[str, SimulationResult]:
     """One app across MaxWiredSharers values (Table VI style)."""
-    results: Dict[str, SimulationResult] = {}
+    grid = []
     for threshold in thresholds:
         config = widir_config(
             num_cores=num_cores, max_wired_sharers=threshold, seed=seed
         )
-        results[label_for(app, config)] = run_app(app, config, memops)
-    return results
+        grid.append((label_for(app, config), app, config))
+    return _run_labelled(grid, executor, memops)
 
 
 def sweep_config_field(
@@ -85,6 +117,7 @@ def sweep_config_field(
     field_path: str,
     values: Sequence,
     memops: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> Dict[str, SimulationResult]:
     """Generic sweep over one (possibly nested) config field.
 
@@ -92,8 +125,8 @@ def sweep_config_field(
     ``"noc.cycles_per_hop"``. Each value produces one run labelled
     ``app/<field>=<value>``.
     """
-    results: Dict[str, SimulationResult] = {}
     parts = field_path.split(".")
+    grid = []
     for value in values:
         config = base_config
         if len(parts) == 1:
@@ -104,8 +137,8 @@ def sweep_config_field(
         else:
             raise ValueError(f"field path too deep: {field_path!r}")
         config.validate()
-        results[f"{app}/{field_path}={value}"] = run_app(app, config, memops)
-    return results
+        grid.append((f"{app}/{field_path}={value}", app, config))
+    return _run_labelled(grid, executor, memops)
 
 
 def speedup_table(results: Dict[str, SimulationResult]) -> Dict[str, float]:

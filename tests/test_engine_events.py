@@ -58,6 +58,28 @@ class TestEventQueue:
         q.schedule(3, lambda: None)
         assert q.peek_time() == 3
 
+    def test_cancel_at_head_between_peek_and_pop(self):
+        """Regression: cancelling the head *after* peek_time() must not let
+        pop() hand back the tombstone."""
+        q = EventQueue()
+        head = q.schedule(1, lambda: pytest.fail("cancelled head ran"))
+        keep = q.schedule(1, lambda: None)
+        assert q.peek_time() == 1  # head is still live at peek time
+        head.cancel()  # a same-cycle callback cancels the head
+        popped = q.pop()
+        assert popped is keep
+        assert not popped.cancelled
+
+    def test_pop_skips_runs_of_tombstones(self):
+        q = EventQueue()
+        dead = [q.schedule(t, lambda: None) for t in (1, 2, 3)]
+        keep = q.schedule(4, lambda: None)
+        for event in dead:
+            event.cancel()
+        assert q.pop() is keep
+        with pytest.raises(SimulationError):
+            q.pop()
+
 
 class TestSimulator:
     def test_run_advances_clock_to_last_event(self):
@@ -113,6 +135,52 @@ class TestSimulator:
         sim.schedule(0, forever)
         with pytest.raises(SimulationError):
             sim.run(max_events=100)
+
+    def test_max_events_budget_is_exact(self):
+        """Regression (off-by-one): exactly ``max_events`` callbacks may
+        run; the budget is checked *before* executing the next event."""
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(i + 1, lambda i=i: fired.append(i))
+        with pytest.raises(SimulationError):
+            sim.run(max_events=3)
+        assert fired == [0, 1, 2]  # the 4th callback never executed
+        assert sim.events_executed == 3
+
+    def test_max_events_equal_to_workload_passes(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i + 1, lambda: None)
+        sim.run(max_events=5)  # budget exactly met: no error
+        assert sim.events_executed == 5
+
+    def test_same_cycle_batch_preserves_order_and_until(self):
+        """The same-cycle drain fast path must not reorder events or
+        overrun an ``until`` bound."""
+        sim = Simulator()
+        fired = []
+        for i in range(4):
+            sim.schedule(10, lambda i=i: fired.append(("a", i)))
+        sim.schedule(20, lambda: fired.append(("b", 0)))
+        sim.run(until=15)
+        assert fired == [("a", 0), ("a", 1), ("a", 2), ("a", 3)]
+        assert sim.now == 15
+        sim.run()
+        assert fired[-1] == ("b", 0)
+
+    def test_cancel_within_same_cycle_batch(self):
+        """A callback cancelling a later event of the *same* cycle must
+        suppress it even inside the batched drain."""
+        sim = Simulator()
+        fired = []
+        holder = {}
+        # Scheduled first => runs first; cancels its same-cycle successor.
+        sim.schedule(5, lambda: holder["victim"].cancel())
+        holder["victim"] = sim.schedule(5, lambda: fired.append("victim"))
+        sim.run()
+        assert fired == []
+        assert sim.events_executed == 1
 
     def test_stop_requests_early_return(self):
         sim = Simulator()
