@@ -9,6 +9,10 @@ the same rows/series the paper reports. Scale knobs:
 * ``REPRO_APPS``     — comma-separated app subset (default: a representative
   six-app set; pass ``all`` for the full 20-application suite).
 * ``REPRO_CORES``    — core count for single-machine benches (default 64).
+* ``REPRO_WORKERS``  — simulation worker processes for the session's
+  executor (default: ``max(2, cpu count)`` so benchmark sessions always
+  exercise the parallel dispatch path; set ``1`` to force the serial
+  path).
 
 The benchmarks assert only *shape* properties (who wins, monotonicity),
 never absolute cycle counts — matching the reproduction contract in
@@ -59,6 +63,28 @@ def cores():
     return int(os.environ.get("REPRO_CORES", "64"))
 
 
+def bench_workers():
+    """Worker count for the benchmark session's process-wide executor.
+
+    Unlike the library default (``REPRO_WORKERS`` else CPU count, which can
+    legitimately resolve to 1 on a single-core box), benchmark sessions
+    default to *at least two* workers so BENCH_harness.json always records
+    the parallel fan-out path unless the user explicitly pins
+    ``REPRO_WORKERS=1``.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "")
+    if raw.strip():
+        return max(1, int(raw))
+    return max(2, os.cpu_count() or 1)
+
+
+def pytest_configure(config):
+    """Install a session-wide executor honouring :func:`bench_workers`."""
+    from repro.harness.executor import Executor, set_default_executor
+
+    set_default_executor(Executor(workers=bench_workers()))
+
+
 @pytest.fixture(scope="session")
 def bench_apps():
     return selected_apps()
@@ -78,7 +104,16 @@ def bench_cores():
 
 #: Per-benchmark wall-clock, filled by pytest_runtest_logreport.
 _BENCH_TIMINGS = {}
+#: Free-form metrics from the kernel microbenchmarks (speedup ratios,
+#: measured wall seconds); lands under ``"kernel"`` in BENCH_harness.json.
+_KERNEL_METRICS = {}
 _SESSION_STARTED = time.time()
+
+
+@pytest.fixture(scope="session")
+def kernel_metrics():
+    """Mutable dict benchmarks fill; emitted as the ``kernel`` section."""
+    return _KERNEL_METRICS
 
 
 def _bench_output_path():
@@ -127,6 +162,8 @@ def pytest_sessionfinish(session, exitstatus):
             "parallel_wall_seconds": round(stats.wall_seconds, 3),
         },
     }
+    if _KERNEL_METRICS:
+        payload["kernel"] = dict(sorted(_KERNEL_METRICS.items()))
     try:
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     except OSError:  # pragma: no cover - read-only checkout

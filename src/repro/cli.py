@@ -9,6 +9,8 @@ compare      run Baseline and WiDir on the same traces, print the ratio
 figure       regenerate a paper artifact (fig5..fig10, table4..table6,
              motivation) and print its table
 apps         list the 20 application profiles and their calibration
+profile      cProfile one in-process run; write a pstats report to
+             ``docs/profiles/`` (see docs/PERFORMANCE.md)
 =========== ==============================================================
 
 Simulations execute through :mod:`repro.harness.executor`: identical runs
@@ -128,6 +130,44 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     _add_common(figure_parser)
 
     sub.add_parser("apps", help="list application profiles")
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="cProfile one in-process simulation and write a pstats report",
+    )
+    profile_parser.add_argument("app", choices=ALL_APPS)
+    profile_parser.add_argument(
+        "--protocol", choices=("baseline", "widir"), default="widir"
+    )
+    profile_parser.add_argument("--cores", type=int, default=64, help="core count")
+    profile_parser.add_argument(
+        "--memops", type=int, default=800, help="memory references per core"
+    )
+    profile_parser.add_argument("--seed", type=int, default=42, help="machine seed")
+    profile_parser.add_argument(
+        "--trace-seed", type=int, default=7, help="workload trace seed"
+    )
+    profile_parser.add_argument(
+        "--sort",
+        choices=("tottime", "cumulative"),
+        default="tottime",
+        help="pstats sort key (default: tottime)",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=25, help="number of pstats rows to keep"
+    )
+    profile_parser.add_argument(
+        "--cold",
+        action="store_true",
+        help="skip the warm-up run (include trace synthesis and import "
+        "effects in the profile)",
+    )
+    profile_parser.add_argument(
+        "--output",
+        default=None,
+        help="report path ('-' for stdout only; default "
+        "docs/profiles/<app>-<protocol>-<cores>c.txt)",
+    )
     return parser.parse_args(argv)
 
 
@@ -183,6 +223,71 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one simulation in-process and write a pstats report.
+
+    The run goes straight through :func:`repro.harness.runner.run_app`
+    (no executor, no subprocesses, no result cache) so the profile shows
+    the simulation inner loop itself. By default one warm-up run executes
+    first: it populates the trace-synthesis memo so the report reflects
+    the steady-state cost a sweep pays per point, which is what
+    docs/PERFORMANCE.md tracks. Pass ``--cold`` to include synthesis.
+    """
+    import cProfile
+    import io
+    import pstats
+    import time
+    from pathlib import Path
+
+    from repro.harness.runner import run_app
+
+    make = widir_config if args.protocol == "widir" else baseline_config
+
+    def one_run():
+        return run_app(
+            args.app,
+            make(num_cores=args.cores, seed=args.seed),
+            args.memops,
+            trace_seed=args.trace_seed,
+        )
+
+    if not args.cold:
+        one_run()  # warm the trace memo / imports
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = one_run()
+    profiler.disable()
+    wall = time.perf_counter() - start
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    header = (
+        f"# repro profile: {args.app} on {args.protocol} @ {args.cores} cores\n"
+        f"# memops/core={args.memops} seed={args.seed} "
+        f"trace_seed={args.trace_seed} "
+        f"{'cold' if args.cold else 'warm'} sort={args.sort}\n"
+        f"# simulated cycles={result.cycles:,} "
+        f"wall={wall:.3f}s (uninstrumented wall is lower; "
+        f"cProfile adds per-call overhead)\n\n"
+    )
+    # Relativize source paths so reports are comparable across checkouts.
+    text = (header + stream.getvalue()).replace(str(Path.cwd().resolve()) + "/", "")
+    print(text)
+    if args.output != "-":
+        if args.output is None:
+            out_path = Path("docs") / "profiles" / (
+                f"{args.app}-{args.protocol}-{args.cores}c.txt"
+            )
+        else:
+            out_path = Path(args.output)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(text, encoding="utf-8")
+        print(f"wrote {out_path}")
+    return 0
+
+
 def _cmd_apps(_args: argparse.Namespace) -> int:
     print(f"{'app':14s} {'suite':8s} {'paper MPKI':>10s} {'sharing mix'}")
     for name in ALL_APPS:
@@ -200,6 +305,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "figure": _cmd_figure,
         "apps": _cmd_apps,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -47,6 +47,7 @@ from repro.engine.rng import DeterministicRng
 from repro.engine.simulator import Simulator
 from repro.mem.address import AddressMap
 from repro.mem.cache_array import CacheArray, CacheLine
+from repro.mem.line_data import LineData, line_data
 from repro.mem.mshr import MshrFile
 from repro.noc.mesh import MeshNetwork
 from repro.noc.message import Message
@@ -100,6 +101,13 @@ class CacheController:
         self._rng = rng
         self._hit_latency = config.l1.round_trip_cycles
         self._update_threshold = config.directory.update_count_threshold
+        # Address decomposition constants, hoisted from ``amap``: the CPU
+        # entry points below run once per memory reference and the two
+        # method calls per access were measurable. The arithmetic is
+        # identical to AddressMap.line_of / word_of.
+        self._line_shift = amap.line_bytes.bit_length() - 1
+        self._offset_mask = amap.line_bytes - 1
+        self._word_shift = AddressMap.WORD_BYTES.bit_length() - 1
         #: Evicted-but-unacked E/M lines: line -> {"data", "dirty"}.
         self._evicting: Dict[int, Dict] = {}
         #: W-state stores awaiting their wireless commit, per line.
@@ -109,33 +117,54 @@ class CacheController:
         #: Monotonic serial for outgoing GetS/GetX (stale-Nack filtering).
         self._request_serial = 0
 
+        # Hot-path counters are stored as bound ``Counter.add`` methods
+        # (see StatsRegistry.adder): one call, no per-event attribute walk
+        # through the Counter object.
         s = stats
-        self._loads = s.counter(f"l1.{node}.loads")
-        self._stores = s.counter(f"l1.{node}.stores")
-        self._rmws = s.counter(f"l1.{node}.rmws")
-        self._read_misses = s.counter(f"l1.{node}.read_misses")
-        self._write_misses = s.counter(f"l1.{node}.write_misses")
-        self._mshr_joins = s.counter(f"l1.{node}.mshr_joins")
-        self._wireless_writes = s.counter(f"l1.{node}.wireless_writes")
-        self._self_invalidations = s.counter(f"l1.{node}.self_invalidations")
-        self._nacks = s.counter(f"l1.{node}.nacks")
-        self._accesses_total = s.counter("l1.total.accesses")
-        self._read_misses_total = s.counter("l1.total.read_misses")
-        self._write_misses_total = s.counter("l1.total.write_misses")
-        self._wireless_writes_total = s.counter("l1.total.wireless_writes")
+        # The three CPU entry-point counters are kept as Counter *objects*
+        # and bumped with a direct ``.value += 1`` (cheaper still than the
+        # bound-method adders used for the colder counters below).
+        self._loads_counter = s.counter(f"l1.{node}.loads")
+        self._stores_counter = s.counter(f"l1.{node}.stores")
+        self._rmws_counter = s.counter(f"l1.{node}.rmws")
+        self._accesses_counter = s.counter("l1.total.accesses")
+        self._read_misses = s.adder(f"l1.{node}.read_misses")
+        self._write_misses = s.adder(f"l1.{node}.write_misses")
+        self._mshr_joins = s.adder(f"l1.{node}.mshr_joins")
+        self._wireless_writes = s.adder(f"l1.{node}.wireless_writes")
+        self._self_invalidations = s.adder(f"l1.{node}.self_invalidations")
+        self._nacks = s.adder(f"l1.{node}.nacks")
+        self._read_misses_total = s.adder("l1.total.read_misses")
+        self._write_misses_total = s.adder("l1.total.write_misses")
+        self._wireless_writes_total = s.adder("l1.total.wireless_writes")
 
     # ------------------------------------------------------------ CPU API
 
     def load(self, address: int, on_done: Callable[[int], None]) -> None:
-        """Read a word; ``on_done(value)`` fires when the data is available."""
-        self._loads.add()
-        self._accesses_total.add()
-        self._do_load(address, on_done)
+        """Read a word; ``on_done(value)`` fires when the data is available.
+
+        The L1-hit fast path is inlined here (identical to the head of
+        :meth:`_do_load`, which remains the retry target for misses): loads
+        dominate the op mix and the extra call frame per hit was visible in
+        end-to-end profiles.
+        """
+        self._loads_counter.value += 1
+        self._accesses_counter.value += 1
+        line = address >> self._line_shift
+        entry = self.array.lookup(line)
+        if entry is not None and entry.state in READABLE_STATES:
+            if entry.state == WIRELESS:
+                entry.update_count = 0
+            word = (address & self._offset_mask) >> self._word_shift
+            value = entry.data.get(word, 0)
+            self.sim.schedule(self._hit_latency, lambda: on_done(value))
+            return
+        self._miss(line, False, False, lambda: self._do_load(address, on_done))
 
     def store(self, address: int, value: int, on_done: Callable[[], None]) -> None:
         """Write a word; ``on_done()`` fires when the store is performed."""
-        self._stores.add()
-        self._accesses_total.add()
+        self._stores_counter.value += 1
+        self._accesses_counter.value += 1
         self._do_store(address, value, on_done)
 
     def rmw(self, address: int, on_done: Callable[[int], None]) -> None:
@@ -145,26 +174,27 @@ class CacheController:
         with K cores each performing N RMWs on one word, the final value must
         be exactly K*N regardless of interleaving, wired or wireless.
         """
-        self._rmws.add()
-        self._accesses_total.add()
+        self._rmws_counter.value += 1
+        self._accesses_counter.value += 1
         self._do_rmw(address, on_done)
 
     # ------------------------------------------------------ access engine
 
     def _do_load(self, address: int, on_done: Callable[[int], None]) -> None:
-        line = self.amap.line_of(address)
+        line = address >> self._line_shift
         entry = self.array.lookup(line)
         if entry is not None and entry.state in READABLE_STATES:
             if entry.state == WIRELESS:
                 entry.update_count = 0
-            value = entry.data.get(self.amap.word_of(address), 0)
+            word = (address & self._offset_mask) >> self._word_shift
+            value = entry.data.get(word, 0)
             self.sim.schedule(self._hit_latency, lambda: on_done(value))
             return
         self._miss(line, False, False, lambda: self._do_load(address, on_done))
 
     def _do_store(self, address: int, value: int, on_done: Callable[[], None]) -> None:
-        line = self.amap.line_of(address)
-        word = self.amap.word_of(address)
+        line = address >> self._line_shift
+        word = (address & self._offset_mask) >> self._word_shift
         entry = self.array.lookup(line)
         if entry is not None:
             if entry.state in (MODIFIED, EXCLUSIVE):
@@ -184,8 +214,8 @@ class CacheController:
         self._miss(line, True, False, lambda: self._do_store(address, value, on_done))
 
     def _do_rmw(self, address: int, on_done: Callable[[int], None]) -> None:
-        line = self.amap.line_of(address)
-        word = self.amap.word_of(address)
+        line = address >> self._line_shift
+        word = (address & self._offset_mask) >> self._word_shift
         entry = self.array.lookup(line)
         if entry is not None:
             if entry.state in (MODIFIED, EXCLUSIVE):
@@ -208,7 +238,7 @@ class CacheController:
     ) -> None:
         existing = self.mshrs.get(line)
         if existing is not None:
-            self._mshr_joins.add()
+            self._mshr_joins()
             if is_write:
                 existing.is_write = True
             existing.add_waiter(retry)
@@ -225,17 +255,17 @@ class CacheController:
             resident.pinned += 1
             mshr.pinned_line = True
         if is_write:
-            self._write_misses.add()
-            self._write_misses_total.add()
+            self._write_misses()
+            self._write_misses_total()
         else:
-            self._read_misses.add()
-            self._read_misses_total.add()
+            self._read_misses()
+            self._read_misses_total()
         self._send_request(mshr, line, is_write, is_sharer)
 
     def _send_request(self, mshr, line: int, is_write: bool, is_sharer: bool) -> None:
         self._request_serial += 1
         mshr.request_serial = self._request_serial
-        kind = mk.GETX if is_write else mk.GETS
+        kind = mk.GETX_ID if is_write else mk.GETS_ID
         self._send(
             kind,
             self.amap.home_of(line),
@@ -243,21 +273,23 @@ class CacheController:
             {"is_sharer": is_sharer, "req_serial": mshr.request_serial},
         )
 
-    def _send(self, kind: str, dst: int, line: int, payload: Optional[dict] = None) -> None:
-        self.noc.send(Message(kind, self.node, dst, line, payload))
+    def _send(self, kind, dst: int, line: int, payload: Optional[dict] = None) -> None:
+        self.noc.send(Message.acquire(kind, self.node, dst, line, payload))
 
     # ----------------------------------------------------- line lifecycle
 
-    def _install(self, line: int, state: str, data: Dict[int, int]) -> CacheLine:
+    def _install(self, line: int, state: str, data) -> CacheLine:
         """Make room, install ``line`` in ``state`` with ``data``.
 
-        Callers must have confirmed :meth:`_ensure_room` first.
+        Callers must have confirmed :meth:`_ensure_room` first. ``data`` may
+        be a plain mapping or a :class:`LineData`; either way the installed
+        entry gets its own copy-on-write view.
         """
         victim = self.array.victim_for(line)
         if victim is not None:
             self._evict(victim)
         entry = self.array.insert(line, state)
-        entry.data = dict(data)
+        entry.data = line_data(data)
         entry.update_count = 0
         return entry
 
@@ -295,16 +327,17 @@ class CacheController:
         self.array.remove(line)
         home = self.amap.home_of(line)
         if victim.state == SHARED:
-            self._send(mk.PUTS, home, line)
+            self._send(mk.PUTS_ID, home, line)
         elif victim.state == WIRELESS:
-            self._send(mk.PUTW, home, line)
+            self._send(mk.PUTW_ID, home, line)
         elif victim.state in (EXCLUSIVE, MODIFIED):
             dirty = victim.dirty
-            self._evicting[line] = {"data": dict(victim.data), "dirty": dirty}
+            snapshot = line_data(victim.data)
+            self._evicting[line] = {"data": snapshot, "dirty": dirty}
             payload = {"dirty": dirty}
             if dirty:
-                payload["data"] = dict(victim.data)
-            self._send(mk.PUTM, home, line, payload)
+                payload["data"] = snapshot.snapshot()
+            self._send(mk.PUTM_ID, home, line, payload)
 
     def _complete_mshr(self, line: int) -> None:
         mshr = self.mshrs.release(line)
@@ -320,15 +353,21 @@ class CacheController:
 
     def handle_message(self, msg: Message) -> None:
         """Entry point for wired messages addressed to this private cache."""
-        handler = self._WIRED_DISPATCH.get(msg.kind)
+        kid = msg.kind_id
+        table = self._WIRED_DISPATCH
+        handler = table[kid] if kid < len(table) else None
         if handler is None:
             raise ProtocolError(f"L1 {self.node} cannot handle {msg.kind}")
         handler(self, msg)
 
     def _on_data(self, msg: Message) -> None:
-        grant = {mk.DATA: SHARED, mk.DATA_E: EXCLUSIVE}.get(
-            msg.kind, msg.payload.get("grant", SHARED)
-        )
+        kid = msg.kind_id
+        if kid == mk.DATA_ID:
+            grant = SHARED
+        elif kid == mk.DATA_E_ID:
+            grant = EXCLUSIVE
+        else:
+            grant = msg.payload.get("grant", SHARED)
         mshr = self.mshrs.get(msg.line)
         if mshr is None:
             # Response to a superseded request (the miss completed by other
@@ -354,10 +393,11 @@ class CacheController:
                 self._complete_mshr(msg.line)
             return
         if not self._ensure_room(msg.line):
+            msg.retain()  # survives past this delivery for the retry
             self.sim.schedule(MSHR_FULL_RETRY_CYCLES, lambda: self._on_data(msg))
             return
         entry = self._install(msg.line, grant, msg.payload.get("data", {}))
-        if msg.kind == mk.FWD_DATA:
+        if kid == mk.FWD_DATA_ID:
             # Forwarded from the previous owner. The home directory stays
             # busy until *this* cache confirms installation — completing at
             # the owner instead would let the directory forward the next
@@ -367,13 +407,16 @@ class CacheController:
                 # The LLC copy is stale; this copy must write back even if
                 # this core never stores to it.
                 entry.dirty = True
-                self._send(mk.FWD_ACK, home, msg.line)
+                self._send(mk.FWD_ACK_ID, home, msg.line)
             else:
                 self._send(
-                    mk.WB_DATA,
+                    mk.WB_DATA_ID,
                     home,
                     msg.line,
-                    {"data": dict(entry.data), "dirty": msg.payload.get("dirty", False)},
+                    {
+                        "data": entry.data.snapshot(),
+                        "dirty": msg.payload.get("dirty", False),
+                    },
                 )
         self._complete_mshr(msg.line)
 
@@ -387,15 +430,17 @@ class CacheController:
         an over-approximate sharer set, which invalidations tolerate.
         """
         resident = self.array.lookup(msg.line, touch=False)
-        if msg.kind == mk.FWD_DATA and grant != MODIFIED:
+        if msg.kind_id == mk.FWD_DATA_ID and grant != MODIFIED:
             # Close the home's fwd_gets transaction with the data we were
-            # handed, whether or not we keep a copy.
+            # handed, whether or not we keep a copy. The payload data is
+            # forwarded as a snapshot — no per-hop copy (the seed version
+            # copied here *and* again at the directory fill).
             self._send(
-                mk.WB_DATA,
+                mk.WB_DATA_ID,
                 self.amap.home_of(msg.line),
                 msg.line,
                 {
-                    "data": dict(msg.payload.get("data", {})),
+                    "data": line_data(msg.payload.get("data")),
                     "dirty": msg.payload.get("dirty", False),
                 },
             )
@@ -406,7 +451,7 @@ class CacheController:
         if resident is not None and resident.state in (SHARED, EXCLUSIVE, MODIFIED):
             resident.state = MODIFIED
             if msg.payload.get("data"):
-                resident.data = dict(msg.payload["data"])
+                resident.data = line_data(msg.payload["data"])
             resident.dirty = True
         elif resident is not None:
             raise ProtocolError(
@@ -414,6 +459,7 @@ class CacheController:
                 f"0x{msg.line:x} held in {resident.state}"
             )
         elif not self._ensure_room(msg.line):
+            msg.retain()  # survives past this delivery for the retry
             self.sim.schedule(
                 MSHR_FULL_RETRY_CYCLES, lambda: self._on_stale_data(msg, grant)
             )
@@ -421,8 +467,8 @@ class CacheController:
         else:
             entry = self._install(msg.line, MODIFIED, msg.payload.get("data", {}))
             entry.dirty = True
-        if msg.kind == mk.FWD_DATA:
-            self._send(mk.FWD_ACK, self.amap.home_of(msg.line), msg.line)
+        if msg.kind_id == mk.FWD_DATA_ID:
+            self._send(mk.FWD_ACK_ID, self.amap.home_of(msg.line), msg.line)
 
     def _on_grant_x(self, msg: Message) -> None:
         entry = self.array.lookup(msg.line)
@@ -445,6 +491,7 @@ class CacheController:
             entry = resident
         else:
             if not self._ensure_room(msg.line):
+                msg.retain()  # survives past this delivery for the retry
                 self.sim.schedule(
                     MSHR_FULL_RETRY_CYCLES, lambda: self._on_wir_upgr(msg)
                 )
@@ -452,7 +499,7 @@ class CacheController:
             entry = self._install(msg.line, WIRELESS, msg.payload.get("data", {}))
         entry.dirty = False
         if msg.payload.get("ack_required", False):
-            self._send(mk.WIR_UPGR_ACK, msg.src, msg.line)
+            self._send(mk.WIR_UPGR_ACK_ID, msg.src, msg.line)
         if self.mshrs.get(msg.line) is not None:
             self._complete_mshr(msg.line)
 
@@ -460,18 +507,18 @@ class CacheController:
         requester = msg.payload["requester"]
         entry = self.array.lookup(msg.line, touch=False)
         if entry is not None and entry.state in (EXCLUSIVE, MODIFIED):
-            data, dirty = dict(entry.data), entry.dirty
+            data, dirty = line_data(entry.data), entry.dirty
             entry.state = SHARED
             entry.dirty = False
         elif msg.line in self._evicting:
             buffered = self._evicting[msg.line]
-            data, dirty = dict(buffered["data"]), buffered["dirty"]
+            data, dirty = line_data(buffered["data"]), buffered["dirty"]
         else:
             raise ProtocolError(
                 f"L1 {self.node}: FwdGetS for 0x{msg.line:x} but not owner"
             )
         self._send(
-            mk.FWD_DATA,
+            mk.FWD_DATA_ID,
             requester,
             msg.line,
             {"data": data, "grant": SHARED, "dirty": dirty},
@@ -481,15 +528,17 @@ class CacheController:
         requester = msg.payload["requester"]
         entry = self.array.lookup(msg.line, touch=False)
         if entry is not None and entry.state in (EXCLUSIVE, MODIFIED):
-            data = dict(entry.data)
+            data = line_data(entry.data)
             self.array.remove(msg.line)
         elif msg.line in self._evicting:
-            data = dict(self._evicting[msg.line]["data"])
+            data = line_data(self._evicting[msg.line]["data"])
         else:
             raise ProtocolError(
                 f"L1 {self.node}: FwdGetX for 0x{msg.line:x} but not owner"
             )
-        self._send(mk.FWD_DATA, requester, msg.line, {"data": data, "grant": MODIFIED})
+        self._send(
+            mk.FWD_DATA_ID, requester, msg.line, {"data": data, "grant": MODIFIED}
+        )
 
     def _on_inv(self, msg: Message) -> None:
         needs_data = msg.payload.get("needs_data", False)
@@ -497,24 +546,27 @@ class CacheController:
         if entry is not None and entry.state == WIRELESS:
             # A maximally delayed Inv from a pre-W epoch of this line; the
             # wireless epoch is governed by WirInv/WirDwgr, so only ack it.
-            self._send(mk.INV_ACK, msg.src, msg.line)
+            self._send(mk.INV_ACK_ID, msg.src, msg.line)
             return
         if entry is not None:
-            data, dirty = dict(entry.data), entry.dirty
+            data, dirty = line_data(entry.data), entry.dirty
             self.array.remove(msg.line)
             if needs_data:
                 self._send(
-                    mk.INV_ACK_DATA, msg.src, msg.line, {"data": data, "dirty": dirty}
+                    mk.INV_ACK_DATA_ID,
+                    msg.src,
+                    msg.line,
+                    {"data": data, "dirty": dirty},
                 )
                 return
-        self._send(mk.INV_ACK, msg.src, msg.line)
+        self._send(mk.INV_ACK_ID, msg.src, msg.line)
 
     def _on_put_ack(self, msg: Message) -> None:
         self._evicting.pop(msg.line, None)
 
     def _on_nack(self, msg: Message) -> None:
         """Bounced by a directory mid-transition: drop tone, retry later."""
-        self._nacks.add()
+        self._nacks()
         mshr = self.mshrs.get(msg.line)
         if mshr is None:
             return  # the line arrived by other means (e.g. BrWirUpgr) already
@@ -538,30 +590,36 @@ class CacheController:
         is_sharer = entry is not None and entry.state == SHARED
         self._send_request(mshr, line, mshr.is_write, is_sharer)
 
-    _WIRED_DISPATCH = {
-        mk.DATA: _on_data,
-        mk.DATA_E: _on_data,
-        mk.FWD_DATA: _on_data,
-        mk.GRANT_X: _on_grant_x,
-        mk.WIR_UPGR: _on_wir_upgr,
-        mk.FWD_GETS: _on_fwd_gets,
-        mk.FWD_GETX: _on_fwd_getx,
-        mk.INV: _on_inv,
-        mk.PUT_ACK: _on_put_ack,
-        "Nack": _on_nack,
-    }
+    #: kind id -> unbound handler. Ids interned after the protocol set (test
+    #: kinds like "Martian") fall off the end and raise ProtocolError above.
+    _WIRED_DISPATCH: List = mk.kind_table()
+    for _kid, _handler in (
+        (mk.DATA_ID, _on_data),
+        (mk.DATA_E_ID, _on_data),
+        (mk.FWD_DATA_ID, _on_data),
+        (mk.GRANT_X_ID, _on_grant_x),
+        (mk.WIR_UPGR_ID, _on_wir_upgr),
+        (mk.FWD_GETS_ID, _on_fwd_gets),
+        (mk.FWD_GETX_ID, _on_fwd_getx),
+        (mk.INV_ID, _on_inv),
+        (mk.PUT_ACK_ID, _on_put_ack),
+        (mk.NACK_ID, _on_nack),
+    ):
+        _WIRED_DISPATCH[_kid] = _handler
+    del _kid, _handler
 
     # -------------------------------------------------- wireless frame side
 
     def handle_frame(self, frame: WirelessFrame) -> None:
         """Entry point for broadcast frames heard by this tile's transceiver."""
-        if frame.kind == mk.WIR_UPD:
+        kid = frame.kind_id
+        if kid == mk.WIR_UPD_ID:
             self._on_frame_upd(frame)
-        elif frame.kind == mk.BR_WIR_UPGR:
+        elif kid == mk.BR_WIR_UPGR_ID:
             self._on_frame_upgrade(frame)
-        elif frame.kind == mk.WIR_DWGR:
+        elif kid == mk.WIR_DWGR_ID:
             self._on_frame_downgrade(frame)
-        elif frame.kind == mk.WIR_INV:
+        elif kid == mk.WIR_INV_ID:
             self._on_frame_invalidate(frame)
 
     def _on_frame_upd(self, frame: WirelessFrame) -> None:
@@ -612,7 +670,7 @@ class CacheController:
             entry.state = SHARED
             entry.update_count = 0
             self._send(
-                mk.WIR_DWGR_ACK,
+                mk.WIR_DWGR_ACK_ID,
                 self.amap.home_of(line),
                 line,
                 {"core": self.node},
@@ -637,12 +695,12 @@ class CacheController:
         line = self.amap.line_of(address)
         word = self.amap.word_of(address)
         entry.update_count = 0
-        frame = WirelessFrame(mk.WIR_UPD, self.node, line, word, value)
+        frame = WirelessFrame.acquire(mk.WIR_UPD_ID, self.node, line, word, value)
         pending = _PendingWirelessWrite(None, address, value, on_done)
 
         def commit() -> None:
-            self._wireless_writes.add()
-            self._wireless_writes_total.add()
+            self._wireless_writes()
+            self._wireless_writes_total()
             resident = self.array.lookup(line, touch=False)
             if resident is not None and resident.state == WIRELESS:
                 resident.data[word] = value
@@ -694,8 +752,8 @@ class CacheController:
         watch: Dict = {"address": address, "on_done": on_done}
 
         def commit() -> None:
-            self._wireless_writes.add()
-            self._wireless_writes_total.add()
+            self._wireless_writes()
+            self._wireless_writes_total()
             self._rmw_watch.pop(line, None)
             resident = self.array.lookup(line, touch=False)
             if resident is not None:
@@ -706,7 +764,7 @@ class CacheController:
                     resident.pinned -= 1
             on_done(old)
 
-        frame = WirelessFrame(mk.WIR_UPD, self.node, line, word, old + 1)
+        frame = WirelessFrame.acquire(mk.WIR_UPD_ID, self.node, line, word, old + 1)
         watch["request"] = self.wireless.transmit(frame, on_commit=commit)
         self._rmw_watch[line] = watch
 
@@ -732,7 +790,7 @@ class CacheController:
 
     def _self_invalidate(self, entry: CacheLine) -> None:
         """UpdateCount saturated: this core stopped using the line (III-B2)."""
-        self._self_invalidations.add()
+        self._self_invalidations()
         line = entry.line
         self.array.remove(line)
-        self._send(mk.PUTW, self.amap.home_of(line), line)
+        self._send(mk.PUTW_ID, self.amap.home_of(line), line)

@@ -45,6 +45,7 @@ from repro.config.system import SystemConfig
 from repro.engine.errors import ProtocolError
 from repro.engine.simulator import Simulator
 from repro.mem.address import AddressMap
+from repro.mem.line_data import line_data
 from repro.mem.memory_controller import MemoryController
 from repro.noc.mesh import MeshNetwork
 from repro.noc.message import Message
@@ -98,18 +99,20 @@ class DirectoryController:
         self._num_pointers = config.directory.num_pointers
         self._widir = config.uses_wireless and wireless is not None
 
+        # Hot-path counters are stored as bound ``Counter.add`` methods
+        # (see StatsRegistry.adder): one call, no per-event attribute walk.
         s = stats
-        self._requests = s.counter(f"dir.{node}.requests")
-        self._nacks = s.counter(f"dir.{node}.nacks")
-        self._s_to_w = s.counter("dir.total.s_to_w")
-        self._w_to_s = s.counter("dir.total.w_to_s")
-        self._w_to_s_recoveries = s.counter("dir.total.w_to_s_recoveries")
-        self._w_joins = s.counter("dir.total.w_joins")
-        self._w_evictions = s.counter("dir.total.w_evictions")
-        self._llc_evictions = s.counter("dir.total.llc_evictions")
-        self._llc_accesses = s.counter("dir.total.llc_accesses")
-        self._bcast_invs = s.counter("dir.total.broadcast_invalidations")
-        self._inv_sent = s.counter("dir.total.invalidations_sent")
+        self._requests = s.adder(f"dir.{node}.requests")
+        self._nacks = s.adder(f"dir.{node}.nacks")
+        self._s_to_w = s.adder("dir.total.s_to_w")
+        self._w_to_s = s.adder("dir.total.w_to_s")
+        self._w_to_s_recoveries = s.adder("dir.total.w_to_s_recoveries")
+        self._w_joins = s.adder("dir.total.w_joins")
+        self._w_evictions = s.adder("dir.total.w_evictions")
+        self._llc_evictions = s.adder("dir.total.llc_evictions")
+        self._llc_accesses = s.adder("dir.total.llc_accesses")
+        self._bcast_invs = s.adder("dir.total.broadcast_invalidations")
+        self._inv_sent = s.adder("dir.total.invalidations_sent")
         self._sharers_per_update = s.histogram("widir.sharers_per_update", SHARER_BINS)
         self._sharers_exact = s.exact_histogram("widir.sharers_per_update_exact")
 
@@ -122,14 +125,16 @@ class DirectoryController:
 
     def _send(
         self,
-        kind: str,
+        kind,
         dst: int,
         line: int,
         payload: Optional[dict] = None,
         with_llc_latency: bool = False,
     ) -> None:
         delay = self._l2_latency if with_llc_latency else 1
-        self.noc.send(Message(kind, self.node, dst, line, payload), extra_delay=delay)
+        self.noc.send(
+            Message.acquire(kind, self.node, dst, line, payload), extra_delay=delay
+        )
 
     def _note_pointer_overflow(self, entry: DirectoryEntry) -> None:
         """Record that the sharer set no longer fits the limited pointers.
@@ -167,36 +172,21 @@ class DirectoryController:
 
     def handle_message(self, msg: Message) -> None:
         """Entry point for wired messages addressed to this home node."""
-        if msg.kind in (mk.GETS, mk.GETX):
+        kid = msg.kind_id
+        if kid == mk.GETS_ID or kid == mk.GETX_ID:
             self._on_request(msg)
             return
-        entry = self.array.lookup(msg.line, touch=False)
-        if msg.kind == mk.PUTS:
-            self._on_put_s(entry, msg)
-        elif msg.kind == mk.PUTW:
-            self._on_put_w(entry, msg)
-        elif msg.kind == mk.PUTM:
-            self._on_put_m(entry, msg)
-        elif msg.kind == mk.INV_ACK:
-            self._on_inv_ack(entry, msg, data=None)
-        elif msg.kind == mk.INV_ACK_DATA:
-            self._on_inv_ack(entry, msg, data=msg.payload)
-        elif msg.kind == mk.WB_DATA:
-            self._on_wb_data(entry, msg)
-        elif msg.kind == mk.FWD_ACK:
-            self._on_fwd_ack(entry, msg)
-        elif msg.kind == mk.WIR_UPGR_ACK:
-            self._on_wir_upgr_ack(entry, msg)
-        elif msg.kind == mk.WIR_DWGR_ACK:
-            self._on_wir_dwgr_ack(entry, msg)
-        else:
+        table = self._DISPATCH
+        handler = table[kid] if kid < len(table) else None
+        if handler is None:
             raise ProtocolError(f"directory {self.node} cannot handle {msg.kind}")
+        handler(self, self.array.lookup(msg.line, touch=False), msg)
 
     # ------------------------------------------------------ request path
 
     def _on_request(self, msg: Message) -> None:
-        self._requests.add()
-        self._llc_accesses.add()
+        self._requests()
+        self._llc_accesses()
         entry = self.array.lookup(msg.line)
         if entry is None:
             self._allocate_and_fetch(msg)
@@ -206,21 +196,21 @@ class DirectoryController:
             if transaction.get("type") == "s_to_w":
                 # Bounce so the requester can drop its ToneAck tone. The
                 # serial lets the cache discard bounces of superseded sends.
-                self._nacks.add()
+                self._nacks()
                 self._send(
-                    "Nack",
+                    mk.NACK_ID,
                     msg.src,
                     msg.line,
                     {"req_serial": msg.payload.get("req_serial")},
                 )
-            elif transaction.get("type") == "w_join" and msg.kind == mk.GETX and (
+            elif transaction.get("type") == "w_join" and msg.kind_id == mk.GETX_ID and (
                 msg.payload.get("is_sharer")
             ):
                 # Upgrade racing a join: bounce (see _req_wireless; a pure
                 # discard deadlocks a requester holding a stale S copy).
-                self._nacks.add()
+                self._nacks()
                 self._send(
-                    "Nack",
+                    mk.NACK_ID,
                     msg.src,
                     msg.line,
                     {"req_serial": msg.payload.get("req_serial")},
@@ -230,6 +220,7 @@ class DirectoryController:
                 # jam window instead of serializing the joins.
                 self._join_wireless_sharer(entry, msg)
             else:
+                msg.retain()  # parked in the deferred queue past delivery
                 entry.deferred.append(msg)
             return
         state = entry.state
@@ -249,11 +240,13 @@ class DirectoryController:
             victim = self.array.victim_for(msg.line)
             if victim is None:
                 # Every way is mid-transaction; poll until one settles.
+                msg.retain()  # survives past this delivery for the retry
                 self.sim.schedule(
                     SET_FULL_RETRY_CYCLES, lambda: self.handle_message(msg)
                 )
                 return
             self._start_entry_eviction(victim)
+            msg.retain()  # survives past this delivery for the retry
             self.sim.schedule(SET_FULL_RETRY_CYCLES, lambda: self.handle_message(msg))
             return
         entry = self.array.insert(msg.line)
@@ -267,8 +260,8 @@ class DirectoryController:
         entry.transaction = {"type": "fetch", "requester": msg.src}
         line = entry.line
 
-        def on_fetched(data: Dict[int, int]) -> None:
-            entry.data = data
+        def on_fetched(data) -> None:
+            entry.data = line_data(data)
             entry.has_data = True
             entry.dirty = False
             requester = entry.transaction["requester"]
@@ -283,21 +276,21 @@ class DirectoryController:
         entry.sharers.clear()
         entry.clear_imprecision()
         self._send(
-            mk.DATA_E,
+            mk.DATA_E_ID,
             requester,
             entry.line,
-            {"data": dict(entry.data)},
+            {"data": line_data(entry.data)},
             with_llc_latency=True,
         )
 
     def _req_shared(self, entry: DirectoryEntry, msg: Message) -> None:
         requester = msg.src
-        if msg.kind == mk.GETS:
+        if msg.kind_id == mk.GETS_ID:
             if requester in entry.sharers:
                 # Duplicate (eviction raced): idempotent re-grant.
                 self._send(
-                    mk.DATA, requester, entry.line,
-                    {"data": dict(entry.data)}, with_llc_latency=True,
+                    mk.DATA_ID, requester, entry.line,
+                    {"data": line_data(entry.data)}, with_llc_latency=True,
                 )
                 return
             if self._widir and len(entry.sharers) + 1 > self._max_wired:
@@ -306,8 +299,8 @@ class DirectoryController:
             entry.sharers.add(requester)
             self._note_pointer_overflow(entry)
             self._send(
-                mk.DATA, requester, entry.line,
-                {"data": dict(entry.data)}, with_llc_latency=True,
+                mk.DATA_ID, requester, entry.line,
+                {"data": line_data(entry.data)}, with_llc_latency=True,
             )
             return
 
@@ -328,11 +321,11 @@ class DirectoryController:
             entry.sharers.clear()
             entry.clear_imprecision()
             if is_upgrade:
-                self._send(mk.GRANT_X, requester, entry.line)
+                self._send(mk.GRANT_X_ID, requester, entry.line)
             else:
                 self._send(
-                    mk.DATA_E, requester, entry.line,
-                    {"data": dict(entry.data)}, with_llc_latency=True,
+                    mk.DATA_E_ID, requester, entry.line,
+                    {"data": line_data(entry.data)}, with_llc_latency=True,
                 )
             return
         entry.busy = True
@@ -343,10 +336,10 @@ class DirectoryController:
             "upgrade": is_upgrade,
         }
         if entry.broadcast:
-            self._bcast_invs.add()
-        self._inv_sent.add(len(targets))
+            self._bcast_invs()
+        self._inv_sent(len(targets))
         for target in targets:
-            self._send(mk.INV, target, entry.line)
+            self._send(mk.INV_ID, target, entry.line)
 
     def _finish_inv_collect(self, entry: DirectoryEntry) -> None:
         transaction = entry.transaction
@@ -356,11 +349,11 @@ class DirectoryController:
         entry.sharers.clear()
         entry.clear_imprecision()
         if transaction["upgrade"]:
-            self._send(mk.GRANT_X, requester, entry.line)
+            self._send(mk.GRANT_X_ID, requester, entry.line)
         else:
             self._send(
-                mk.DATA_E, requester, entry.line,
-                {"data": dict(entry.data)}, with_llc_latency=True,
+                mk.DATA_E_ID, requester, entry.line,
+                {"data": line_data(entry.data)}, with_llc_latency=True,
             )
         self._unbusy(entry)
 
@@ -374,36 +367,36 @@ class DirectoryController:
             # cache was already answered with ownership. Confirm ownership
             # with a GrantX rather than staying silent — the cache may have
             # a live miss waiting on this very request.
-            self._send(mk.GRANT_X, requester, entry.line)
+            self._send(mk.GRANT_X_ID, requester, entry.line)
             return
-        if msg.kind == mk.GETS:
+        if msg.kind_id == mk.GETS_ID:
             entry.busy = True
             entry.transaction = {"type": "fwd_gets", "requester": requester}
-            self._send(mk.FWD_GETS, owner, entry.line, {"requester": requester})
+            self._send(mk.FWD_GETS_ID, owner, entry.line, {"requester": requester})
         else:
             entry.busy = True
             entry.transaction = {"type": "fwd_getx", "requester": requester}
-            self._send(mk.FWD_GETX, owner, entry.line, {"requester": requester})
+            self._send(mk.FWD_GETX_ID, owner, entry.line, {"requester": requester})
 
     def _req_wireless(self, entry: DirectoryEntry, msg: Message) -> None:
         requester = msg.src
-        if msg.kind == mk.GETX and msg.payload.get("is_sharer"):
+        if msg.kind_id == mk.GETX_ID and msg.payload.get("is_sharer"):
             # Table II, W->W case 2: the requester already heard BrWirUpgr
             # (or will momentarily) and retries its write wirelessly — its
             # miss is already satisfied, so a bounce is ignored. A requester
             # holding a *stale* S copy (late-downgrade straggler), however,
             # still has a live miss: the bounce makes it retry, and once its
             # stale copy is invalidated the retry arrives as a normal join.
-            self._nacks.add()
+            self._nacks()
             self._send(
-                "Nack",
+                mk.NACK_ID,
                 requester,
                 entry.line,
                 {"req_serial": msg.payload.get("req_serial")},
             )
             return
         # Table II, W->W case 1: a new sharer joins over the wired network.
-        self._w_joins.add()
+        self._w_joins()
         entry.busy = True
         transaction = {"type": "w_join", "pending": {requester}, "settled": False}
         entry.transaction = transaction
@@ -426,10 +419,10 @@ class DirectoryController:
 
     def _send_wir_upgr(self, entry: DirectoryEntry, requester: int) -> None:
         self._send(
-            mk.WIR_UPGR,
+            mk.WIR_UPGR_ID,
             requester,
             entry.line,
-            {"data": dict(entry.data), "ack_required": True},
+            {"data": line_data(entry.data), "ack_required": True},
             with_llc_latency=True,
         )
 
@@ -439,7 +432,7 @@ class DirectoryController:
         requester = msg.src
         if requester in transaction["pending"]:
             return  # duplicate request; one grant suffices
-        self._w_joins.add()
+        self._w_joins()
         transaction["pending"].add(requester)
         if transaction["settled"]:
             # The jam window is already quiescent: grant immediately.
@@ -451,7 +444,7 @@ class DirectoryController:
         """Table II S->W: BrWirUpgr + jamming + ToneAck, WirUpgr to requester."""
         if self.wireless is None or self.tone is None:
             raise ProtocolError("S->W transition without wireless hardware")
-        self._s_to_w.add()
+        self._s_to_w()
         entry.busy = True
         entry.transaction = {
             "type": "s_to_w",
@@ -469,10 +462,10 @@ class DirectoryController:
         # ToneAck tone forever while we wait for silence.
         while entry.deferred:
             deferred = entry.deferred.popleft()
-            if deferred.kind in (mk.GETS, mk.GETX):
-                self._nacks.add()
+            if deferred.kind_id in (mk.GETS_ID, mk.GETX_ID):
+                self._nacks()
                 self._send(
-                    "Nack",
+                    mk.NACK_ID,
                     deferred.src,
                     line,
                     {"req_serial": deferred.payload.get("req_serial")},
@@ -490,17 +483,17 @@ class DirectoryController:
         def on_commit() -> None:
             self.tone.begin(line, participants, on_tone_silent)
 
-        frame = WirelessFrame(mk.BR_WIR_UPGR, self.node, line)
+        frame = WirelessFrame.acquire(mk.BR_WIR_UPGR_ID, self.node, line)
         self.wireless.transmit(frame, on_commit=on_commit)
         # The requester confirms installation with an explicit WirUpgrAck.
         # The ToneAck usually covers it (completion case iii), but a stale
         # bounce can legitimately release its tone before the line arrives;
         # the ack keeps the transition from completing under the requester.
         self._send(
-            mk.WIR_UPGR,
+            mk.WIR_UPGR_ID,
             requester,
             line,
-            {"data": dict(entry.data), "ack_required": True},
+            {"data": line_data(entry.data), "ack_required": True},
             with_llc_latency=True,
         )
 
@@ -529,7 +522,7 @@ class DirectoryController:
         """Table II W->S: WirDwgr broadcast, collect WirDwgrAcks via wired."""
         if self.wireless is None:
             raise ProtocolError("W->S transition without wireless hardware")
-        self._w_to_s.add()
+        self._w_to_s()
         entry.busy = True
         # ``pending`` = acknowledgments still expected; ``acks`` = received;
         # ``ids`` = cores that will be the Shared-state sharer pointers. A
@@ -541,7 +534,7 @@ class DirectoryController:
             "acks": 0,
             "ids": [],
         }
-        frame = WirelessFrame(mk.WIR_DWGR, self.node, entry.line)
+        frame = WirelessFrame.acquire(mk.WIR_DWGR_ID, self.node, entry.line)
         transaction = entry.transaction
         if entry.sharer_count == 0:
             # Every wireless sharer already left; the broadcast is only a
@@ -555,7 +548,7 @@ class DirectoryController:
         def recover() -> None:
             if entry.transaction is not transaction:
                 return  # this downgrade already closed
-            self._w_to_s_recoveries.add()
+            self._w_to_s_recoveries()
             transaction["pending"] = transaction["acks"]
             self._finish_w_to_s(entry)
 
@@ -658,18 +651,20 @@ class DirectoryController:
         data = msg.payload.get("data")
         if entry is None:
             # The entry was recalled/evicted while the PutM was in flight;
-            # the data still has to land somewhere authoritative.
+            # the data still has to land somewhere authoritative. (The seed
+            # copied the payload dict here before the memory controller
+            # snapshotted it again — one copy, not two.)
             if dirty and data is not None:
-                line_data = dict(data)
-                self._memory_for(msg.line).writeback_line(msg.line, line_data)
-            self._send(mk.PUT_ACK, msg.src, msg.line)
+                self._memory_for(msg.line).writeback_line(msg.line, data)
+            self._send(mk.PUT_ACK_ID, msg.src, msg.line)
             return
         if entry.busy:
+            msg.retain()  # parked in the deferred queue past delivery
             entry.deferred.append(msg)
             return
         if entry.state == DIR_EXCLUSIVE and entry.owner == msg.src:
             if dirty and data is not None:
-                entry.data = dict(data)
+                entry.data = line_data(data)
                 entry.dirty = True
                 entry.has_data = True
             entry.owner = None
@@ -681,7 +676,7 @@ class DirectoryController:
             if entry.state == DIR_SHARED and not entry.sharers:
                 entry.state = DIR_INVALID
                 entry.clear_imprecision()
-        self._send(mk.PUT_ACK, msg.src, msg.line)
+        self._send(mk.PUT_ACK_ID, msg.src, msg.line)
 
     def _on_inv_ack(
         self, entry: Optional[DirectoryEntry], msg: Message, data: Optional[dict]
@@ -703,7 +698,7 @@ class DirectoryController:
             return
         if kind == "recall_e":
             if data is not None and data.get("dirty"):
-                entry.data = dict(data["data"])
+                entry.data = line_data(data["data"])
                 entry.dirty = True
             self._finish_recall(entry)
             return
@@ -714,7 +709,7 @@ class DirectoryController:
         transaction = entry.transaction
         if transaction.get("type") != "fwd_gets":
             return
-        entry.data = dict(msg.payload["data"])
+        entry.data = line_data(msg.payload["data"])
         entry.has_data = True
         if msg.payload.get("dirty"):
             entry.dirty = True
@@ -768,7 +763,7 @@ class DirectoryController:
             # may have been written since — the only safe answer is to
             # invalidate that copy. The InvAck matches no transaction and
             # is dropped harmlessly.
-            self._send(mk.INV, msg.payload["core"], entry.line)
+            self._send(mk.INV_ID, msg.payload["core"], entry.line)
             return
         transaction["acks"] += 1
         transaction["ids"].append(msg.payload["core"])
@@ -779,7 +774,7 @@ class DirectoryController:
 
     def _start_entry_eviction(self, entry: DirectoryEntry) -> None:
         """Make room in the LLC set by recalling/invalidating ``entry``."""
-        self._llc_evictions.add()
+        self._llc_evictions()
         line = entry.line
         if entry.state == DIR_INVALID:
             self._finish_recall(entry)
@@ -794,22 +789,22 @@ class DirectoryController:
             if not targets:
                 self._finish_recall(entry)
                 return
-            self._inv_sent.add(len(targets))
+            self._inv_sent(len(targets))
             for target in targets:
-                self._send(mk.INV, target, line)
+                self._send(mk.INV_ID, target, line)
             return
         if entry.state == DIR_EXCLUSIVE:
             entry.busy = True
             entry.transaction = {"type": "recall_e"}
-            self._send(mk.INV, entry.owner, line, {"needs_data": True})
+            self._send(mk.INV_ID, entry.owner, line, {"needs_data": True})
             return
         # Wireless line: Table II W->I — broadcast WirInv, write back if dirty.
-        self._w_evictions.add()
+        self._w_evictions()
         entry.busy = True
         entry.transaction = {"type": "evict_w"}
         if self.wireless is None:
             raise ProtocolError("evicting a W line without wireless hardware")
-        frame = WirelessFrame(mk.WIR_INV, self.node, line)
+        frame = WirelessFrame.acquire(mk.WIR_INV_ID, self.node, line)
         self.wireless.transmit(frame, on_delivered=lambda: self._finish_recall(entry))
 
     def _finish_recall(self, entry: DirectoryEntry) -> None:
@@ -826,7 +821,7 @@ class DirectoryController:
 
     def handle_frame(self, frame: WirelessFrame) -> None:
         """Wireless frames heard at this tile that concern lines homed here."""
-        if frame.kind != mk.WIR_UPD:
+        if frame.kind_id != mk.WIR_UPD_ID:
             return
         if self.amap.home_of(frame.line) != self.node:
             return
@@ -840,3 +835,30 @@ class DirectoryController:
         updated = max(0, entry.sharer_count - 1)
         self._sharers_per_update.record(updated)
         self._sharers_exact.record(updated)
+
+    # ----------------------------------------------------- dispatch tables
+
+    def _on_inv_ack_plain(self, entry: Optional[DirectoryEntry], msg: Message) -> None:
+        self._on_inv_ack(entry, msg, data=None)
+
+    def _on_inv_ack_data(self, entry: Optional[DirectoryEntry], msg: Message) -> None:
+        self._on_inv_ack(entry, msg, data=msg.payload)
+
+    #: kind id -> unbound ``(self, entry, msg)`` handler for everything but
+    #: GetS/GetX (which short-circuit in :meth:`handle_message`). Ids
+    #: interned after the protocol set (unknown/test kinds) fall off the end
+    #: and raise ProtocolError.
+    _DISPATCH: List = mk.kind_table()
+    for _kid, _handler in (
+        (mk.PUTS_ID, _on_put_s),
+        (mk.PUTW_ID, _on_put_w),
+        (mk.PUTM_ID, _on_put_m),
+        (mk.INV_ACK_ID, _on_inv_ack_plain),
+        (mk.INV_ACK_DATA_ID, _on_inv_ack_data),
+        (mk.WB_DATA_ID, _on_wb_data),
+        (mk.FWD_ACK_ID, _on_fwd_ack),
+        (mk.WIR_UPGR_ACK_ID, _on_wir_upgr_ack),
+        (mk.WIR_DWGR_ACK_ID, _on_wir_dwgr_ack),
+    ):
+        _DISPATCH[_kid] = _handler
+    del _kid, _handler

@@ -12,7 +12,7 @@ bits suffice); the broadcast bit is always zero in W.
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional, Set
 
 from repro.coherence.states import DIR_INVALID
@@ -118,18 +118,29 @@ class DirectoryArray:
             raise SimulationError(f"num_sets must be a power of two, got {num_sets}")
         self.num_sets = num_sets
         self.associativity = associativity
-        self._sets: List[OrderedDict[int, DirectoryEntry]] = [
-            OrderedDict() for _ in range(num_sets)
-        ]
+        self._mask = num_sets - 1
+        # Sets are plain insertion-ordered dicts (LRU touch = delete +
+        # re-insert, same order ``OrderedDict.move_to_end`` gives) allocated
+        # *lazily*: a 64-tile machine has num_cores * num_sets directory
+        # sets and most are never referenced in a run, so eagerly building
+        # them dominated machine-construction time in profiles.
+        self._sets: Dict[int, Dict[int, DirectoryEntry]] = {}
 
-    def _set_of(self, line: int) -> OrderedDict:
-        return self._sets[line & (self.num_sets - 1)]
+    def _set_of(self, line: int) -> Dict[int, DirectoryEntry]:
+        index = line & self._mask
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = {}
+        return cache_set
 
     def lookup(self, line: int, touch: bool = True) -> Optional[DirectoryEntry]:
-        cache_set = self._set_of(line)
+        cache_set = self._sets.get(line & self._mask)
+        if cache_set is None:
+            return None
         entry = cache_set.get(line)
         if entry is not None and touch:
-            cache_set.move_to_end(line)
+            del cache_set[line]
+            cache_set[line] = entry
         return entry
 
     def needs_victim(self, line: int) -> bool:
@@ -164,5 +175,5 @@ class DirectoryArray:
         return entry
 
     def entries(self) -> Iterator[DirectoryEntry]:
-        for cache_set in self._sets:
+        for cache_set in self._sets.values():
             yield from cache_set.values()

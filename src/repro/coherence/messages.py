@@ -1,8 +1,82 @@
-"""Wired protocol message kinds.
+"""Wired protocol message kinds, interned as small integers.
 
 Grouped by who sends them and whether a busy directory entry must accept
 them immediately (transaction-completing) or may defer them (new requests).
+
+Interning
+---------
+Every kind has two representations:
+
+* the **name** (``"GetS"``) — the debug/trace layer. ``Message.kind`` and
+  ``WirelessFrame.kind`` still return these strings, so reprs, protocol
+  traces, and error messages stay readable, and tests can keep comparing
+  against the string constants below.
+* the **id** (``GETS_ID``) — a small dense integer used by the hot path.
+  Controllers dispatch on ``msg.kind_id`` through precomputed tables
+  (plain Python lists indexed by id) instead of if/elif string-compare
+  chains, and per-kind attributes (data-bearing, jammable,
+  directory-bound, transaction-completing) are O(1) list lookups.
+
+``intern_kind`` is the single registration point. Unknown names (tests
+exercise the error paths with kinds like ``"Martian"``) are interned on
+first use so they flow through the same machinery and fail in the
+controllers with the same :class:`~repro.engine.errors.ProtocolError` as
+before.
 """
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List
+
+# --------------------------------------------------------------- registry
+
+#: id -> name. Dense; ids are assigned in registration order below, so the
+#: protocol kinds get stable small ids and dispatch tables stay compact.
+_KIND_NAMES: List[str] = []
+#: name -> id.
+_KIND_IDS: Dict[str, int] = {}
+
+
+def intern_kind(name: str) -> int:
+    """Return the dense integer id for ``name``, registering it if new."""
+    kid = _KIND_IDS.get(name)
+    if kid is None:
+        kid = len(_KIND_NAMES)
+        _KIND_IDS[name] = kid
+        _KIND_NAMES.append(sys.intern(name))
+    return kid
+
+
+def kind_id(name: str) -> int:
+    """The id of an already (or newly) registered kind name."""
+    return intern_kind(name)
+
+
+def kind_name(kid: int) -> str:
+    """The display name of a kind id (debug/trace layer)."""
+    return _KIND_NAMES[kid]
+
+
+def num_kinds() -> int:
+    """Number of registered kinds (dispatch tables size to this)."""
+    return len(_KIND_NAMES)
+
+
+def kind_table(size_hint: int = 0) -> List:
+    """A fresh ``None``-filled list indexed by kind id.
+
+    Callers fill in per-kind handlers/flags; ids interned *after* the table
+    was built simply fall off the end, which lookups must treat as "no
+    entry" (see :func:`table_get`).
+    """
+    return [None] * max(num_kinds(), size_hint)
+
+
+def table_get(table: List, kid: int):
+    """``table[kid]`` with out-of-range ids mapping to ``None``."""
+    return table[kid] if kid < len(table) else None
+
 
 # --- cache -> directory requests (deferrable at a busy entry) ---
 GETS = "GetS"          # read miss
@@ -29,6 +103,7 @@ INV = "Inv"            # invalidate; payload["needs_data"] on a dir recall
 PUT_ACK = "PutAck"     # closes a PutM/PutE eviction transaction
 WIR_UPGR = "WirUpgr"   # line data + "this line is now Wireless"; payload:
                        #   data, ack_required (False for the S->W trigger)
+NACK = "Nack"          # directory mid-transition bounced the request
 
 # --- cache -> cache (three-hop forwards) ---
 FWD_DATA = "FwdData"   # owner-supplied data for a forwarded request
@@ -56,3 +131,37 @@ WIR_UPD = "WirUpd"          # fine-grained word update from a W sharer
 BR_WIR_UPGR = "BrWirUpgr"   # directory announces S -> W
 WIR_DWGR = "WirDwgr"        # directory announces W -> S
 WIR_INV = "WirInv"          # directory evicts a wirelessly shared line
+
+# ----------------------------------------------------------- interned ids
+
+GETS_ID = intern_kind(GETS)
+GETX_ID = intern_kind(GETX)
+PUTS_ID = intern_kind(PUTS)
+PUTM_ID = intern_kind(PUTM)
+PUTW_ID = intern_kind(PUTW)
+WIR_UPGR_ACK_ID = intern_kind(WIR_UPGR_ACK)
+WIR_DWGR_ACK_ID = intern_kind(WIR_DWGR_ACK)
+INV_ACK_ID = intern_kind(INV_ACK)
+INV_ACK_DATA_ID = intern_kind(INV_ACK_DATA)
+WB_DATA_ID = intern_kind(WB_DATA)
+FWD_ACK_ID = intern_kind(FWD_ACK)
+DATA_ID = intern_kind(DATA)
+DATA_E_ID = intern_kind(DATA_E)
+GRANT_X_ID = intern_kind(GRANT_X)
+FWD_GETS_ID = intern_kind(FWD_GETS)
+FWD_GETX_ID = intern_kind(FWD_GETX)
+INV_ID = intern_kind(INV)
+PUT_ACK_ID = intern_kind(PUT_ACK)
+WIR_UPGR_ID = intern_kind(WIR_UPGR)
+NACK_ID = intern_kind(NACK)
+FWD_DATA_ID = intern_kind(FWD_DATA)
+WIR_UPD_ID = intern_kind(WIR_UPD)
+BR_WIR_UPGR_ID = intern_kind(BR_WIR_UPGR)
+WIR_DWGR_ID = intern_kind(WIR_DWGR)
+WIR_INV_ID = intern_kind(WIR_INV)
+
+#: Number of ids the core protocol occupies; tables built from this cover
+#: every kind the controllers can legally receive.
+NUM_PROTOCOL_KINDS = num_kinds()
+
+COMPLETION_KIND_IDS = frozenset(_KIND_IDS[name] for name in COMPLETION_KINDS)

@@ -88,8 +88,16 @@ class Core:
         self._wakeup: Optional[Callable[[], bool]] = None
         self._on_finish: Optional[Callable[["Core"], None]] = None
         self._finished = False
+        # Counter objects bumped via direct ``.value +=``:
+        # ``_count_instructions`` runs once per trace op and even the bound
+        # ``Counter.add`` call was visible in profiles.
         self._instr = stats.counter(f"core.{node}.instructions")
         self._instr_total = stats.counter("core.total.instructions")
+        # More hot-path bindings: one attribute hop instead of two or three
+        # in the per-operation issue/complete closures.
+        self._schedule = sim.schedule
+        self._load_record = self.result.load_latency.record
+        self._store_record = self.result.store_latency.record
 
     # --------------------------------------------------------------- control
 
@@ -108,15 +116,25 @@ class Core:
     # ------------------------------------------------------------ execution
 
     def _step(self) -> None:
-        """Advance through trace ops until blocked or done."""
-        while self._pc < len(self._trace):
-            op = self._trace[self._pc]
+        """Advance through trace ops until blocked or done.
+
+        The loop hoists the trace list, its length, and the scheduler into
+        locals: this method runs once per wake-up across every core and the
+        repeated attribute walks dominated its profile.
+        """
+        trace = self._trace
+        trace_len = len(trace)
+        while self._pc < trace_len:
+            op = trace[self._pc]
             kind = op.kind
             if kind == OP_THINK:
                 self._pc += 1
-                self._count_instructions(op.arg)
-                cycles = max(1, -(-op.arg // self._issue_width))
-                self.sim.schedule(cycles, self._step)
+                arg = op.arg
+                self.result.instructions += arg
+                self._instr.value += arg
+                self._instr_total.value += arg
+                cycles = max(1, -(-arg // self._issue_width))
+                self._schedule(cycles, self._step)
                 return
             if kind == OP_LOAD:
                 if not self._issue_load(op):
@@ -150,8 +168,8 @@ class Core:
 
     def _count_instructions(self, count: int) -> None:
         self.result.instructions += count
-        self._instr.add(count)
-        self._instr_total.add(count)
+        self._instr.value += count
+        self._instr_total.value += count
 
     # --------------------------------------------------------------- stalls
 
@@ -198,18 +216,18 @@ class Core:
         self._count_instructions(1)
         self._outstanding_loads += 1
         issued = self.sim.now
-        completed = {"done": False}
+        completed = [False]  # one-slot cell: cheaper than a dict in this hot path
 
         def on_done(_value: int) -> None:
-            completed["done"] = True
+            completed[0] = True
             self._outstanding_loads -= 1
-            self.result.load_latency.record(self.sim.now - issued)
+            self._load_record(self.sim.now - issued)
             self._maybe_wake()
 
         self.cache.load(op.address, on_done)
-        if op.blocking and not completed["done"]:
+        if op.blocking and not completed[0]:
             grace = self.config.l1.round_trip_cycles
-            self._block("memory", lambda: completed["done"], grace=grace)
+            self._block("memory", lambda: completed[0], grace=grace)
             return False
         return True
 
@@ -226,7 +244,7 @@ class Core:
 
         def on_done() -> None:
             self._wb_occupancy -= 1
-            self.result.store_latency.record(self.sim.now - issued)
+            self._store_record(self.sim.now - issued)
             self._maybe_wake()
 
         self.cache.store(op.address, op.value, on_done)
@@ -243,16 +261,16 @@ class Core:
         self._pc += 1
         self._count_instructions(1)
         issued = self.sim.now
-        completed = {"done": False}
+        completed = [False]
 
         def on_done(_old: int) -> None:
-            completed["done"] = True
-            self.result.store_latency.record(self.sim.now - issued)
+            completed[0] = True
+            self._store_record(self.sim.now - issued)
             self._maybe_wake()
 
         self.cache.rmw(op.address, on_done)
-        if not completed["done"]:
-            self._block("memory", lambda: completed["done"])
+        if not completed[0]:
+            self._block("memory", lambda: completed[0])
             return False
         return True
 
@@ -266,14 +284,14 @@ class Core:
             self._block("memory", self._no_outstanding)
             return False
         self._pc += 1
-        released = {"done": False}
+        released = [False]
 
         def on_release() -> None:
-            released["done"] = True
+            released[0] = True
             self._maybe_wake()
 
         self.barrier.arrive(op.arg, on_release)
-        if not released["done"]:
-            self._block("sync", lambda: released["done"])
+        if not released[0]:
+            self._block("sync", lambda: released[0])
             return False
         return True

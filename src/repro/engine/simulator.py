@@ -38,18 +38,48 @@ class Simulator:
         return self._events_executed
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
-        """Run ``callback`` ``delay`` cycles from now (delay >= 0)."""
+        """Run ``callback`` ``delay`` cycles from now (delay >= 0).
+
+        The event creation and heap push are inlined (mirroring
+        :meth:`EventQueue.schedule` exactly): scheduling is the most-called
+        operation in the kernel and the extra call frame was measurable.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.queue.schedule(self.now + delay, callback)
+        time = self.now + delay
+        queue = self.queue
+        seq = queue._seq
+        event = Event.__new__(Event)
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.cancelled = False
+        queue._seq = seq + 1
+        queue._live += 1
+        heapq.heappush(queue._heap, (time, seq, event))
+        return event
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
-        """Run ``callback`` at absolute cycle ``time`` (time >= now)."""
+        """Run ``callback`` at absolute cycle ``time`` (time >= now).
+
+        Inlined like :meth:`schedule`; the ordering and sequence-number
+        semantics are identical to ``EventQueue.schedule``.
+        """
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at cycle {time}, already at cycle {self.now}"
             )
-        return self.queue.schedule(time, callback)
+        queue = self.queue
+        seq = queue._seq
+        event = Event.__new__(Event)
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.cancelled = False
+        queue._seq = seq + 1
+        queue._live += 1
+        heapq.heappush(queue._heap, (time, seq, event))
+        return event
 
     def stop(self) -> None:
         """Request that :meth:`run` return before the next event."""
@@ -83,6 +113,26 @@ class Simulator:
         queue = self.queue
         heap = queue._heap  # the list object is stable for the queue's life
         heappop = heapq.heappop
+        if until is None and max_events is None:
+            # Fast path for the common full-drain call: no bound checks
+            # inside the loop. Semantics are identical to the general loop
+            # below with both bounds absent.
+            while not self._stopped:
+                while heap and heap[0][2].cancelled:
+                    heappop(heap)
+                    queue._live -= 1
+                if not heap:
+                    break
+                now = heap[0][0]
+                self.now = now
+                while heap and heap[0][0] == now and not self._stopped:
+                    event = heappop(heap)[2]
+                    queue._live -= 1
+                    if event.cancelled:
+                        continue
+                    event.callback()
+                    self._events_executed += 1
+            return self.now
         while not self._stopped:
             # Inline dead-head skip: one scan where peek_time()+pop() did two.
             while heap and heap[0][2].cancelled:

@@ -8,7 +8,6 @@ observe the most recent write — rather than just counting events.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Dict, Iterator, Optional
 
 from repro.engine.errors import SimulationError
@@ -39,9 +38,11 @@ class CacheLine:
 class CacheArray:
     """Tag/data array: ``num_sets`` sets of ``associativity`` ways, true LRU.
 
-    Each set is an :class:`~collections.OrderedDict` from line address to
-    :class:`CacheLine`, most-recently-used last. ``Pinned`` lines (RMW in
-    flight) are skipped when choosing a victim.
+    Each set is a plain insertion-ordered dict from line address to
+    :class:`CacheLine`, most-recently-used last (an LRU touch deletes and
+    re-inserts the key, which moves it to the end — the same ordering an
+    ``OrderedDict.move_to_end`` gives, without the heavier per-set object).
+    ``Pinned`` lines (RMW in flight) are skipped when choosing a victim.
     """
 
     def __init__(self, num_sets: int, associativity: int) -> None:
@@ -51,13 +52,12 @@ class CacheArray:
             raise SimulationError("associativity must be >= 1")
         self.num_sets = num_sets
         self.associativity = associativity
-        self._sets: list[OrderedDict[int, CacheLine]] = [
-            OrderedDict() for _ in range(num_sets)
-        ]
+        self._mask = num_sets - 1
+        self._sets: list[Dict[int, CacheLine]] = [{} for _ in range(num_sets)]
         self._resident = 0
 
-    def _set_of(self, line: int) -> OrderedDict:
-        return self._sets[line & (self.num_sets - 1)]
+    def _set_of(self, line: int) -> Dict[int, CacheLine]:
+        return self._sets[line & self._mask]
 
     def __len__(self) -> int:
         return self._resident
@@ -67,13 +67,20 @@ class CacheArray:
         return entry is not None and entry.state != "I"
 
     def lookup(self, line: int, touch: bool = True) -> Optional[CacheLine]:
-        """Return the resident line, updating LRU order unless ``touch=False``."""
-        cache_set = self._set_of(line)
+        """Return the resident line, updating LRU order unless ``touch=False``.
+
+        ``_set_of`` is inlined: this is the single most-called method of the
+        array (every load, store, and protocol message resolves tags here).
+        """
+        cache_set = self._sets[line & self._mask]
         entry = cache_set.get(line)
         if entry is None:
             return None
         if touch:
-            cache_set.move_to_end(line)
+            # LRU touch: delete + re-insert moves the key to the end of the
+            # insertion order (MRU position).
+            del cache_set[line]
+            cache_set[line] = entry
         return entry
 
     def needs_victim(self, line: int) -> bool:

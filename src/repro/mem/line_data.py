@@ -1,0 +1,154 @@
+"""Copy-on-write cache-line data.
+
+A cache line's words travel a lot: directory fill -> DataE payload -> L1
+install -> FwdData payload -> WBData payload -> LLC -> writeback. The seed
+implementation defensively ``dict()``-copied at every hop, allocating a
+fresh dict per message even though almost none of the copies are ever
+written. :class:`LineData` replaces those copies with O(1) *snapshots*:
+
+* ``snapshot()`` returns a new :class:`LineData` that shares the underlying
+  word dict and marks **both** wrappers shared;
+* the first mutation through a shared wrapper copies the dict privately
+  (copy-on-write), so holders of other snapshots never observe the change;
+* reads go straight to the shared dict with no indirection beyond one
+  attribute load.
+
+Value semantics are therefore identical to eager copying — which the
+golden-digest tests lock in — while the common case (a data payload that is
+installed, read, and dropped) allocates nothing per hop.
+
+The wrapper intentionally supports the mapping protocol subset the
+simulator and its tests use (``get``/``[]``/``in``/``len``/iteration/
+``items``/``keys``/``values``/equality with plain dicts), so existing call
+sites and assertions keep working; ``dict(line_data)`` still materializes
+a plain dict when one is genuinely needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Union
+
+LineWords = Dict[int, int]
+
+
+class LineData:
+    """One cache line's words (word index -> value) with COW snapshots."""
+
+    __slots__ = ("_words", "_shared")
+
+    def __init__(self, words: Optional[Union[Mapping, "LineData"]] = None) -> None:
+        if words is None:
+            self._words: LineWords = {}
+            self._shared = False
+        elif isinstance(words, LineData):
+            # Constructing from another LineData is a snapshot.
+            words._shared = True
+            self._words = words._words
+            self._shared = True
+        else:
+            self._words = dict(words)
+            self._shared = False
+
+    # ---------------------------------------------------------- snapshots
+
+    def snapshot(self) -> "LineData":
+        """An O(1) immutable-until-written view sharing this line's words."""
+        self._shared = True
+        clone = LineData.__new__(LineData)
+        clone._words = self._words
+        clone._shared = True
+        return clone
+
+    def _own(self) -> None:
+        """Ensure this wrapper exclusively owns its dict (COW trigger)."""
+        if self._shared:
+            self._words = dict(self._words)
+            self._shared = False
+
+    # ------------------------------------------------------------- writes
+
+    def __setitem__(self, word: int, value: int) -> None:
+        if self._shared:
+            self._words = dict(self._words)
+            self._shared = False
+        self._words[word] = value
+
+    def __delitem__(self, word: int) -> None:
+        self._own()
+        del self._words[word]
+
+    def update(self, other: Union[Mapping, "LineData"]) -> None:
+        self._own()
+        if isinstance(other, LineData):
+            self._words.update(other._words)
+        else:
+            self._words.update(other)
+
+    def clear(self) -> None:
+        self._own()
+        self._words.clear()
+
+    # -------------------------------------------------------------- reads
+
+    def get(self, word: int, default: Optional[int] = None) -> Optional[int]:
+        return self._words.get(word, default)
+
+    def __getitem__(self, word: int) -> int:
+        return self._words[word]
+
+    def __contains__(self, word: int) -> bool:
+        return word in self._words
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __bool__(self) -> bool:
+        return bool(self._words)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._words)
+
+    def items(self):
+        return self._words.items()
+
+    def keys(self):
+        return self._words.keys()
+
+    def values(self):
+        return self._words.values()
+
+    def to_dict(self) -> LineWords:
+        """A plain-dict copy (serialization boundaries only)."""
+        return dict(self._words)
+
+    # ----------------------------------------------------------- equality
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LineData):
+            return self._words == other._words
+        if isinstance(other, dict):
+            return self._words == other
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = "~" if self._shared else ""
+        return f"LineData{flag}({self._words!r})"
+
+
+def line_data(words: Optional[Union[Mapping, LineData]] = None) -> LineData:
+    """Coerce ``words`` into a :class:`LineData` without needless copying.
+
+    ``LineData`` inputs become O(1) snapshots; mappings are copied once;
+    ``None`` yields an empty line. This is the single conversion point the
+    protocol uses when accepting externally supplied data (message payloads
+    built by tests may still carry plain dicts).
+    """
+    if isinstance(words, LineData):
+        return words.snapshot()
+    return LineData(words)

@@ -10,31 +10,45 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.engine.simulator import Simulator
+from repro.mem.line_data import LineData, line_data
 from repro.stats.collectors import StatsRegistry
 
 
 class MainMemory:
-    """Flat word-addressable backing store (line -> word index -> value)."""
+    """Flat word-addressable backing store (line -> word index -> value).
+
+    Lines are stored as copy-on-write :class:`LineData` views, so a fetch
+    hands out an O(1) snapshot instead of copying the whole line, and a
+    writeback adopts the in-flight payload without re-copying it. Value
+    semantics are unchanged: a later mutation of either side copies first.
+    """
 
     def __init__(self) -> None:
-        self._lines: Dict[int, Dict[int, int]] = {}
+        self._lines: Dict[int, LineData] = {}
 
-    def read_line(self, line: int) -> Dict[int, int]:
-        """Return a *copy* of the line's words (missing words are 0)."""
-        return dict(self._lines.get(line, {}))
+    def read_line(self, line: int) -> LineData:
+        """Return a snapshot of the line's words (missing words are 0)."""
+        stored = self._lines.get(line)
+        if stored is None:
+            return LineData()
+        return stored.snapshot()
 
-    def write_line(self, line: int, data: Dict[int, int]) -> None:
-        """Write back a full line image."""
+    def write_line(self, line: int, data) -> None:
+        """Write back a full line image (mapping or :class:`LineData`)."""
         if data:
-            self._lines[line] = dict(data)
+            self._lines[line] = line_data(data)
         else:
             self._lines.pop(line, None)
 
     def read_word(self, line: int, word: int) -> int:
-        return self._lines.get(line, {}).get(word, 0)
+        stored = self._lines.get(line)
+        return stored.get(word, 0) if stored is not None else 0
 
     def write_word(self, line: int, word: int, value: int) -> None:
-        self._lines.setdefault(line, {})[word] = value
+        stored = self._lines.get(line)
+        if stored is None:
+            stored = self._lines[line] = LineData()
+        stored[word] = value
 
 
 class MemoryController:
@@ -69,18 +83,23 @@ class MemoryController:
         self._busy_until = done
         return done
 
-    def fetch_line(self, line: int, on_done: Callable[[Dict[int, int]], None]) -> None:
+    def fetch_line(self, line: int, on_done: Callable[[LineData], None]) -> None:
         """Read a line; ``on_done`` receives the word data at completion."""
         self._reads.add()
         done = self._service_time()
         self.sim.schedule_at(done, lambda: on_done(self.memory.read_line(line)))
 
     def writeback_line(
-        self, line: int, data: Dict[int, int], on_done: Callable[[], None] = None
+        self, line: int, data, on_done: Callable[[], None] = None
     ) -> None:
-        """Write a full line back to memory; data is captured immediately."""
+        """Write a full line back to memory; data is captured immediately.
+
+        The capture is an O(1) copy-on-write snapshot (the seed eagerly
+        dict-copied here, and most callers had *already* copied once to
+        build ``data`` — the classic double-copy this PR removes).
+        """
         self._writes.add()
-        snapshot = dict(data)
+        snapshot = line_data(data)
         done = self._service_time()
 
         def finish() -> None:

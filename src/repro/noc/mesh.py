@@ -15,7 +15,7 @@ simulating individual flits.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config.system import NocConfig
 from repro.engine.simulator import Simulator
@@ -25,6 +25,12 @@ from repro.stats.collectors import StatsRegistry
 
 #: Table V bins for hops per coherence leg.
 HOP_BINS = ((0, 2), (3, 5), (6, 8), (9, 11), (12, None))
+
+#: Sends between prunes of the link-reservation / pair-order timelines.
+#: Both maps only ever *grow* in the seed implementation; entries whose
+#: timestamps are in the past can never again influence a ``max()`` or a
+#: busy-until comparison, so dropping them is semantics-preserving.
+PRUNE_INTERVAL = 4096
 
 
 class MeshNetwork:
@@ -52,12 +58,33 @@ class MeshNetwork:
         #: coherence protocol relies on this (e.g. a response sent before a
         #: forward must arrive first).
         self._pair_order: Dict[Tuple[int, int], int] = {}
+        #: (src, dst) -> (hops, route links, hop-histogram bin index).
+        #: Dimension-ordered routes are a pure function of the pair; the
+        #: seed recomputed them per message. The bin index is resolved once
+        #: here so ``send`` can bump the histogram with one list index
+        #: instead of re-scanning the bins per message (-1 = overflow).
+        self._route_cache: Dict[
+            Tuple[int, int], Tuple[int, List[Tuple[int, int]], int]
+        ] = {}
+        self._sends_until_prune = PRUNE_INTERVAL
         self._handlers: Dict[int, Callable[[Message], None]] = {}
         self._messages = stats.counter("noc.messages")
         self._data_messages = stats.counter("noc.data_messages")
         self._total_hops = stats.counter("noc.total_hops")
         self._queueing = stats.counter("noc.queueing_cycles")
         self._hop_histogram = stats.histogram("noc.hops_per_leg", HOP_BINS)
+        # Hot-path bound methods (send() runs per message).
+        self._messages_add = self._messages.add
+        self._data_messages_add = self._data_messages.add
+        self._total_hops_add = self._total_hops.add
+        self._queueing_add = self._queueing.add
+        self._hop_record = self._hop_histogram.record
+        #: The histogram's counts list (mutated in place, never reassigned).
+        self._hop_counts = self._hop_histogram.counts
+        # Frozen-config constants hoisted out of the per-message path.
+        self._router_overhead = config.router_overhead_cycles
+        self._cycles_per_hop = config.cycles_per_hop
+        self._model_contention = config.model_contention
 
     def register_handler(self, node: int, handler: Callable[[Message], None]) -> None:
         """Attach the tile-side receive callback for ``node``."""
@@ -71,48 +98,101 @@ class MeshNetwork:
             latency += self.data_serialization_cycles
         return max(1, latency)
 
+    def _pair_info(
+        self, src: int, dst: int
+    ) -> Tuple[int, List[Tuple[int, int]], int]:
+        """Cached (hops, route, hop-bin) — routes are static per topology."""
+        pair = (src, dst)
+        info = self._route_cache.get(pair)
+        if info is None:
+            route = list(self.topology.route(src, dst))
+            hops = self.topology.hops(src, dst)
+            bin_idx = -1  # overflow sentinel, matching BinnedHistogram.record
+            for i, (low, high) in enumerate(HOP_BINS):
+                if hops >= low and (high is None or hops <= high):
+                    bin_idx = i
+                    break
+            info = (hops, route, bin_idx)
+            self._route_cache[pair] = info
+        return info
+
     def send(self, message: Message, extra_delay: int = 0) -> None:
         """Inject ``message``; it is delivered to the destination handler.
 
         ``extra_delay`` lets callers model local processing time before the
         message reaches the network interface.
         """
-        message.sent_at = self.sim.now
-        hops = self.topology.hops(message.src, message.dst)
-        self._messages.add()
-        self._total_hops.add(hops)
-        self._hop_histogram.record(hops)
-        if message.carries_data:
-            self._data_messages.add()
+        now = self.sim.now
+        message.sent_at = now
+        src = message.src
+        dst = message.dst
+        pair = (src, dst)
+        info = self._route_cache.get(pair)
+        if info is None:
+            info = self._pair_info(src, dst)
+        hops, route, bin_idx = info
+        carries_data = message.carries_data
+        self._messages.value += 1
+        self._total_hops.value += hops
+        if bin_idx >= 0:
+            self._hop_counts[bin_idx] += 1
+        else:  # pragma: no cover - HOP_BINS currently cover all hop counts
+            self._hop_histogram.overflow += 1
+        if carries_data:
+            self._data_messages.value += 1
 
-        serialization = (
-            self.data_serialization_cycles if message.carries_data else 1
-        )
-        depart = self.sim.now + extra_delay + self.config.router_overhead_cycles
-        if self.config.model_contention and message.src != message.dst:
-            arrival = self._traverse(message, depart, serialization)
+        serialization = self.data_serialization_cycles if carries_data else 1
+        depart = now + extra_delay + self._router_overhead
+        if self._model_contention and src != dst:
+            arrival = self._traverse(route, depart, serialization)
         else:
-            arrival = depart + hops * self.config.cycles_per_hop
-            if message.carries_data:
+            arrival = depart + hops * self._cycles_per_hop
+            if carries_data:
                 arrival += self.data_serialization_cycles
 
-        pair = (message.src, message.dst)
-        arrival = max(arrival, self.sim.now, self._pair_order.get(pair, 0) + 1)
-        self._pair_order[pair] = arrival
+        pair_order = self._pair_order
+        arrival = max(arrival, now, pair_order.get(pair, 0) + 1)
+        pair_order[pair] = arrival
         self.sim.schedule_at(arrival, lambda: self._deliver(message))
 
-    def _traverse(self, message: Message, depart: int, serialization: int) -> int:
+        self._sends_until_prune -= 1
+        if self._sends_until_prune <= 0:
+            self._sends_until_prune = PRUNE_INTERVAL
+            self._prune(now)
+
+    def _prune(self, now: int) -> None:
+        """Drop stale reservation/ordering entries (unbounded in the seed).
+
+        A pair-order entry only matters through ``value + 1`` (the earliest
+        next delivery), and a link reservation only through ``value`` (the
+        cycle the link frees up); entries at or before ``now`` can never
+        influence a future send, so removing them cannot change timing.
+        """
+        pair_order = self._pair_order
+        for pair in [p for p, t in pair_order.items() if t + 1 <= now]:
+            del pair_order[pair]
+        busy = self._link_busy_until
+        for link in [l for l, t in busy.items() if t <= now]:
+            del busy[link]
+
+    def _traverse(self, route, depart: int, serialization: int) -> int:
         """Walk the XY route reserving each link; return the arrival cycle."""
         time = depart
-        for link in self.topology.route(message.src, message.dst):
-            ready = self._link_busy_until.get(link, 0)
+        busy = self._link_busy_until
+        cycles_per_hop = self._cycles_per_hop
+        queued = 0
+        for link in route:
+            ready = busy.get(link, 0)
             if ready > time:
-                self._queueing.add(ready - time)
+                queued += ready - time
                 time = ready
             # The head reaches the far side after the hop latency; the link
             # stays occupied while the body (serialization) streams through.
-            self._link_busy_until[link] = time + serialization
-            time += self.config.cycles_per_hop
+            busy[link] = time + serialization
+            time += cycles_per_hop
+        if queued:
+            # One counter bump for the whole walk (same total as per-hop).
+            self._queueing.value += queued
         # The tail of a data message lands ``serialization`` cycles later.
         if serialization > 1:
             time += serialization - 1
@@ -123,6 +203,9 @@ class MeshNetwork:
         if handler is None:
             raise KeyError(f"no handler registered for node {message.dst}")
         handler(message)
+        # The message is dead unless the handler retained it (deferred
+        # queues, scheduled retries); recycle it through the freelist.
+        Message.release(message)
 
     def average_hops(self) -> float:
         count = self._messages.value

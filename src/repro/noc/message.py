@@ -4,15 +4,44 @@ One class covers every wired message; the ``kind`` field names the protocol
 action (GetS, GetX, Data, Inv, InvAck, PutS, PutM, WBAck, WirUpgr,
 WirUpgrAck, PutW, WirDwgrAck, ...). Size matters only for link occupancy:
 control messages are one flit, data-bearing messages carry a line.
+
+Fast path
+---------
+Messages store the *interned* kind id (see :mod:`repro.coherence.messages`)
+and precompute ``carries_data`` at construction, so the mesh and the
+controllers never hash a string per message. ``Message.kind`` remains a
+string-valued property for reprs, traces, and tests.
+
+Allocation: the wired network moves hundreds of messages per simulated
+memory operation, and almost all of them die the moment their destination
+handler returns. :meth:`Message.acquire` hands out recycled instances from
+a bounded class-level freelist; :meth:`MeshNetwork._deliver
+<repro.noc.mesh.MeshNetwork._deliver>` releases them after dispatch unless
+a handler called :meth:`retain` (directory deferred queues and
+retry-scheduled handlers do). Messages built through the plain constructor
+(tests, external drivers) are never pooled, so objects a test holds on to
+cannot be mutated by later simulation traffic.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.coherence import messages as mk
 
 #: Message kinds that carry a full cache line (affects link occupancy).
 DATA_BEARING_KINDS = frozenset({"Data", "DataE", "FwdData", "WBData", "WirUpgr"})
+
+#: kind id -> bool, grown lazily as new kinds are interned.
+_CARRIES_DATA: List[bool] = []
+
+
+def _carries_data(kid: int) -> bool:
+    table = _CARRIES_DATA
+    if kid >= len(table):
+        for i in range(len(table), mk.num_kinds()):
+            table.append(mk.kind_name(i) in DATA_BEARING_KINDS)
+    return table[kid]
 
 
 class Message:
@@ -20,36 +49,109 @@ class Message:
 
     Attributes
     ----------
+    kind_id:
+        Interned protocol kind (dispatch key; see
+        :mod:`repro.coherence.messages`).
     kind:
-        Protocol message name (e.g. ``"GetS"``).
+        Protocol message name (e.g. ``"GetS"``) — derived from ``kind_id``.
     src, dst:
         Tile ids.
     line:
         Line address the transaction concerns.
     payload:
         Free-form protocol fields (data words, sharer flags, ack counts...).
+    carries_data:
+        Whether the message occupies link bandwidth for a full line.
     """
 
-    __slots__ = ("kind", "src", "dst", "line", "payload", "sent_at")
+    __slots__ = (
+        "kind_id",
+        "src",
+        "dst",
+        "line",
+        "payload",
+        "sent_at",
+        "carries_data",
+        "_pooled",
+        "_retained",
+    )
+
+    #: Bounded freelist of recycled pooled messages.
+    _free: List["Message"] = []
+    _FREELIST_CAP = 4096
 
     def __init__(
         self,
-        kind: str,
+        kind,
         src: int,
         dst: int,
         line: int,
         payload: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self.kind = kind
+        kid = kind if type(kind) is int else mk.intern_kind(kind)
+        self.kind_id = kid
         self.src = src
         self.dst = dst
         self.line = line
         self.payload = payload if payload is not None else {}
         self.sent_at: Optional[int] = None
+        self.carries_data = _carries_data(kid)
+        self._pooled = False
+        self._retained = False
+
+    # ------------------------------------------------------------- pooling
+
+    @classmethod
+    def acquire(
+        cls,
+        kind,
+        src: int,
+        dst: int,
+        line: int,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> "Message":
+        """A pooled message: recycled if the freelist has one, else fresh."""
+        free = cls._free
+        if free:
+            msg = free.pop()
+            kid = kind if type(kind) is int else mk.intern_kind(kind)
+            msg.kind_id = kid
+            msg.src = src
+            msg.dst = dst
+            msg.line = line
+            msg.payload = payload if payload is not None else {}
+            msg.sent_at = None
+            msg.carries_data = _carries_data(kid)
+            msg._retained = False
+            return msg
+        msg = cls(kind, src, dst, line, payload)
+        msg._pooled = True
+        return msg
+
+    def retain(self) -> None:
+        """Keep this message alive beyond its delivery callback.
+
+        Handlers that stash a message (deferred queues, scheduled retries)
+        must call this, or the pool could hand the object out again while
+        it is still referenced.
+        """
+        self._retained = True
+
+    @classmethod
+    def release(cls, msg: "Message") -> None:
+        """Return a delivered message to the freelist (if eligible)."""
+        if msg._pooled and not msg._retained and len(cls._free) < cls._FREELIST_CAP:
+            # Drop the payload reference so line data snapshots inside it
+            # are not kept alive by the pool.
+            msg.payload = None
+            cls._free.append(msg)
+
+    # --------------------------------------------------------------- views
 
     @property
-    def carries_data(self) -> bool:
-        return self.kind in DATA_BEARING_KINDS
+    def kind(self) -> str:
+        """Protocol name of this message (debug/trace layer)."""
+        return mk.kind_name(self.kind_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Message({self.kind} {self.src}->{self.dst} line=0x{self.line:x})"

@@ -161,6 +161,17 @@ class StatsRegistry:
             self._counters[name] = Counter(name)
         return self._counters[name]
 
+    def adder(self, name: str):
+        """The counter's bound ``add`` method — the hot-path fast path.
+
+        Components that bump a counter per simulated event store this bound
+        method once at construction and call it directly, skipping the
+        per-event attribute walk (``self._counter.add`` resolves a slot
+        descriptor and builds a bound method on every call; the stored
+        bound method does neither).
+        """
+        return self.counter(name).add
+
     def latency(self, name: str) -> LatencyStat:
         if name not in self._latencies:
             self._latencies[name] = LatencyStat(name)

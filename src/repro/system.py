@@ -27,22 +27,27 @@ from repro.wireless.channel import WirelessDataChannel
 from repro.wireless.frames import WirelessFrame
 from repro.wireless.tone import ToneChannel
 
-#: Wired message kinds consumed by the home directory slice of a tile.
-_DIRECTORY_KINDS = frozenset(
-    {
-        mk.GETS,
-        mk.GETX,
-        mk.PUTS,
-        mk.PUTM,
-        mk.PUTW,
-        mk.INV_ACK,
-        mk.INV_ACK_DATA,
-        mk.WB_DATA,
-        mk.FWD_ACK,
-        mk.WIR_UPGR_ACK,
-        mk.WIR_DWGR_ACK,
-    }
-)
+#: Wired message kinds consumed by the home directory slice of a tile,
+#: as a kind-id-indexed bool table (the router runs once per delivered
+#: message — no per-message set hashing). Ids interned after the protocol
+#: set fall off the end and route to the cache side, which rejects unknown
+#: kinds with the same ProtocolError as before.
+_DIRECTORY_KIND_TABLE: List[bool] = [False] * mk.NUM_PROTOCOL_KINDS
+for _kid in (
+    mk.GETS_ID,
+    mk.GETX_ID,
+    mk.PUTS_ID,
+    mk.PUTM_ID,
+    mk.PUTW_ID,
+    mk.INV_ACK_ID,
+    mk.INV_ACK_DATA_ID,
+    mk.WB_DATA_ID,
+    mk.FWD_ACK_ID,
+    mk.WIR_UPGR_ACK_ID,
+    mk.WIR_DWGR_ACK_ID,
+):
+    _DIRECTORY_KIND_TABLE[_kid] = True
+del _kid
 
 
 class Manycore:
@@ -125,9 +130,12 @@ class Manycore:
     def _make_wired_router(self, node: int):
         cache = self.caches[node]
         directory = self.directories[node]
+        table = _DIRECTORY_KIND_TABLE
+        table_len = len(table)
 
         def route(message: Message) -> None:
-            if message.kind in _DIRECTORY_KINDS:
+            kid = message.kind_id
+            if kid < table_len and table[kid]:
                 directory.handle_message(message)
             else:
                 cache.handle_message(message)

@@ -270,6 +270,10 @@ class WirelessDataChannel:
             handler(request.frame)
         if request.on_delivered is not None:
             request.on_delivered()
+        # The broadcast fan-out is complete and no receiver keeps frames
+        # beyond its handler; recycle pooled frames through the freelist.
+        # (Cancelled frames never reach here and simply fall to the GC.)
+        WirelessFrame.release(request.frame)
         self._schedule_arbitration(self.sim.now)
 
     def _remove_pending(self, request: TransmitRequest) -> None:

@@ -10,45 +10,100 @@ BrWirUpgr  directory announces a line's transition to W
 WirDwgr    directory announces a line's transition back to S
 WirInv     directory invalidates a wirelessly shared line it is evicting
 ========== =============================================================
+
+Like wired :class:`~repro.noc.message.Message` objects, frames store the
+interned kind id for dispatch and precompute ``jammable``; the string
+``kind`` stays available as a property for traces and tests. Frames are
+broadcast — every tile's handler sees the same object — so the channel
+recycles pooled frames only after the delivery fan-out completes
+(:meth:`WirelessFrame.release`, called from the channel's finish step).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
+
+from repro.coherence import messages as mk
+
+_WIR_UPD_ID = mk.WIR_UPD_ID
 
 
 class WirelessFrame:
     """One broadcast frame on the wireless data channel."""
 
-    __slots__ = ("kind", "src", "line", "word", "value", "payload")
+    __slots__ = ("kind_id", "src", "line", "word", "value", "payload",
+                 "jammable", "_pooled")
+
+    #: Bounded freelist of recycled pooled frames.
+    _free: List["WirelessFrame"] = []
+    _FREELIST_CAP = 1024
 
     def __init__(
         self,
-        kind: str,
+        kind,
         src: int,
         line: int,
         word: int = 0,
         value: int = 0,
         payload: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self.kind = kind
+        kid = kind if type(kind) is int else mk.intern_kind(kind)
+        self.kind_id = kid
         self.src = src
         self.line = line
         self.word = word
         self.value = value
         self.payload = payload if payload is not None else {}
+        # Selective jamming targets cores' data updates only. The
+        # directory-originated transition frames (BrWirUpgr, WirDwgr,
+        # WirInv) are sent exclusively by the line's home — the very node
+        # doing the jamming — and must always pass. Exempting by *kind*
+        # rather than by sender matters: the home tile's own L1 may be a
+        # wireless sharer, and its WirUpd frames must still be jammed.
+        self.jammable = kid == _WIR_UPD_ID
+        self._pooled = False
+
+    # ------------------------------------------------------------- pooling
+
+    @classmethod
+    def acquire(
+        cls,
+        kind,
+        src: int,
+        line: int,
+        word: int = 0,
+        value: int = 0,
+    ) -> "WirelessFrame":
+        """A pooled frame: recycled if the freelist has one, else fresh."""
+        free = cls._free
+        if free:
+            frame = free.pop()
+            kid = kind if type(kind) is int else mk.intern_kind(kind)
+            frame.kind_id = kid
+            frame.src = src
+            frame.line = line
+            frame.word = word
+            frame.value = value
+            frame.payload = {}
+            frame.jammable = kid == _WIR_UPD_ID
+            return frame
+        frame = cls(kind, src, line, word, value)
+        frame._pooled = True
+        return frame
+
+    @classmethod
+    def release(cls, frame: "WirelessFrame") -> None:
+        """Return a delivered frame to the freelist (if eligible)."""
+        if frame._pooled and len(cls._free) < cls._FREELIST_CAP:
+            frame.payload = None
+            cls._free.append(frame)
+
+    # --------------------------------------------------------------- views
 
     @property
-    def jammable(self) -> bool:
-        """Selective jamming targets cores' data updates only.
-
-        The directory-originated transition frames (BrWirUpgr, WirDwgr,
-        WirInv) are sent exclusively by the line's home — the very node
-        doing the jamming — and must always pass. Exempting by *kind* rather
-        than by sender matters: the home tile's own L1 may be a wireless
-        sharer, and its WirUpd frames must still be jammed.
-        """
-        return self.kind == "WirUpd"
+    def kind(self) -> str:
+        """Frame kind name (debug/trace layer)."""
+        return mk.kind_name(self.kind_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"WirelessFrame({self.kind} from {self.src} line=0x{self.line:x})"

@@ -14,7 +14,8 @@ think gaps between references realize the profile's memory intensity.
 
 from __future__ import annotations
 
-from typing import List
+from collections import OrderedDict
+from typing import List, Tuple
 
 from repro.cpu.trace import TraceOp
 from repro.engine.rng import DeterministicRng
@@ -141,14 +142,45 @@ def _apply_blocking_fractions(
             op.blocking = rng.random() < block_fraction
 
 
+#: Memoized machine traces. ``build_traces`` is pure and the harness calls
+#: it twice per experiment point (once for Baseline, once for WiDir) with
+#: identical arguments — synthesis was ~a quarter of end-to-end wall time in
+#: the seed. :class:`~repro.workloads.profiles.AppProfile` is a frozen
+#: dataclass, so the argument tuple is hashable; exotic unhashable profiles
+#: (tests constructing ad-hoc objects) skip the cache.
+_TRACE_CACHE: "OrderedDict[Tuple, List[List[TraceOp]]]" = OrderedDict()
+_TRACE_CACHE_CAP = 8
+
+
 def build_traces(
     profile: AppProfile,
     num_cores: int,
     memops_per_core: int,
     seed: int = 0,
 ) -> List[List[TraceOp]]:
-    """Build the whole machine's traces (one list per core)."""
-    return [
+    """Build the whole machine's traces (one list per core).
+
+    Results are memoized on the (pure) argument tuple. Cached hits return
+    fresh *outer and per-core lists* so callers may slice or extend them,
+    while the :class:`TraceOp` objects are shared — the cores consume them
+    strictly read-only (``blocking`` is finalized at synthesis time).
+    """
+    try:
+        key = (profile, num_cores, memops_per_core, seed)
+        cached = _TRACE_CACHE.get(key)
+    except TypeError:  # unhashable ad-hoc profile: build uncached
+        key = None
+        cached = None
+    if cached is not None:
+        _TRACE_CACHE.move_to_end(key)
+        return [list(trace) for trace in cached]
+    traces = [
         build_core_trace(profile, core, num_cores, memops_per_core, seed)
         for core in range(num_cores)
     ]
+    if key is not None:
+        _TRACE_CACHE[key] = traces
+        if len(_TRACE_CACHE) > _TRACE_CACHE_CAP:
+            _TRACE_CACHE.popitem(last=False)
+        return [list(trace) for trace in traces]
+    return traces

@@ -92,3 +92,29 @@ class TestCli:
     def test_unknown_app_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["run", "doom"])
+
+    def test_profile_command_writes_report(self, capsys, tmp_path):
+        out_file = tmp_path / "prof" / "report.txt"
+        assert main(
+            [
+                "profile", "volrend", "--cores", "8", "--memops", "100",
+                "--top", "5", "--output", str(out_file),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Ordered by: internal time" in out
+        text = out_file.read_text()
+        assert "volrend on widir @ 8 cores" in text
+        assert "simulated cycles=" in text
+
+    def test_profile_command_stdout_only(self, capsys):
+        assert main(
+            [
+                "profile", "volrend", "--protocol", "baseline", "--cores", "8",
+                "--memops", "100", "--sort", "cumulative", "--cold",
+                "--top", "5", "--output", "-",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Ordered by: cumulative time" in out
+        assert "wrote" not in out
