@@ -11,6 +11,10 @@ figure       regenerate a paper artifact (fig5..fig10, table4..table6,
 apps         list the 20 application profiles and their calibration
 profile      cProfile one in-process run; write a pstats report to
              ``docs/profiles/`` (see docs/PERFORMANCE.md)
+verify       run a protocol verification campaign (litmus suite + fault-
+             injecting fuzzing with online invariant checking); failures
+             are shrunk and archived as replayable JSON artifacts
+verify replay  re-execute a failure artifact (see docs/TESTING.md)
 =========== ==============================================================
 
 Simulations execute through :mod:`repro.harness.executor`: identical runs
@@ -168,6 +172,51 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         help="report path ('-' for stdout only; default "
         "docs/profiles/<app>-<protocol>-<cores>c.txt)",
     )
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="run a protocol verification campaign (litmus + fuzzing), or "
+        "replay a failure artifact",
+    )
+    verify_parser.add_argument(
+        "--campaign", default="smoke", help="campaign name (smoke, deep)"
+    )
+    verify_parser.add_argument(
+        "--seed", type=int, default=0, help="campaign root seed"
+    )
+    verify_parser.add_argument(
+        "--trials", type=int, default=None, help="override the trial count"
+    )
+    verify_parser.add_argument(
+        "--mutate",
+        default=None,
+        help="apply a seeded protocol mutation to every WiDir trial "
+        "(mutation smoke testing; the campaign must fail)",
+    )
+    verify_parser.add_argument(
+        "--litmus-schedules",
+        type=int,
+        default=6,
+        help="issue schedules per litmus (test, config) pair",
+    )
+    verify_parser.add_argument(
+        "--skip-litmus", action="store_true", help="fuzz trials only"
+    )
+    verify_parser.add_argument(
+        "--artifact-dir",
+        default="verify-artifacts",
+        help="where failing trials are archived as replayable JSON",
+    )
+    verify_parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="archive failing trials without the delta-debugging pass",
+    )
+    verify_sub = verify_parser.add_subparsers(dest="verify_command")
+    replay_parser = verify_sub.add_parser(
+        "replay", help="re-execute a failure artifact"
+    )
+    replay_parser.add_argument("artifact", help="path to the artifact JSON")
     return parser.parse_args(argv)
 
 
@@ -288,6 +337,134 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Run a verification campaign, or replay a failure artifact.
+
+    Campaign mode output is fully deterministic for a given
+    ``(--campaign, --seed, --trials, --mutate)`` tuple — no wall-clock
+    times, no absolute paths in the summary — so two identical invocations
+    produce byte-identical stdout (the CI determinism gate diffs them).
+    """
+    from pathlib import Path
+
+    from repro.verify.artifacts import FailureArtifact, shrink_trial
+    from repro.verify.fuzz import CAMPAIGNS, execute_trial, run_campaign
+    from repro.verify.litmus import run_suite
+    from repro.verify.mutations import MUTATIONS
+
+    if args.verify_command == "replay":
+        artifact = FailureArtifact.load(args.artifact)
+        print(
+            f"replaying: campaign={artifact.campaign} seed={artifact.seed} "
+            f"trial={artifact.trial_index} "
+            f"(shrunk {artifact.original_ops} -> {artifact.shrunk_ops} ops)"
+            if artifact.shrunk
+            else f"replaying: campaign={artifact.campaign} "
+            f"seed={artifact.seed} trial={artifact.trial_index}"
+        )
+        print(f"recorded failure: {artifact.failure}")
+        result = execute_trial(artifact.spec)
+        if result.ok:
+            print("replay PASSED — the failure did not reproduce")
+            return 1
+        print(f"replay failure  : {result.failure}")
+        print("failure reproduced")
+        return 0
+
+    if args.campaign not in CAMPAIGNS:
+        print(
+            f"unknown campaign {args.campaign!r}; "
+            f"available: {', '.join(sorted(CAMPAIGNS))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.mutate is not None and args.mutate not in MUTATIONS:
+        print(
+            f"unknown mutation {args.mutate!r}; "
+            f"available: {', '.join(sorted(MUTATIONS))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    violations = 0
+    if not args.skip_litmus:
+        litmus_results = run_suite(
+            num_cores=8,
+            schedules=args.litmus_schedules,
+            seed=args.seed,
+            online_interval=150,
+        )
+        print(f"== litmus: {len(litmus_results)} (test, config) pairs ==")
+        for result in litmus_results:
+            print(f"  {result.summary()}")
+            for violation in result.violations:
+                print(f"    ! {violation}")
+            violations += len(result.violations)
+
+    plan = CAMPAIGNS[args.campaign]
+    trials = args.trials if args.trials is not None else plan.trials
+    suffix = f" mutate={args.mutate}" if args.mutate else ""
+    print(
+        f"== fuzz: campaign={args.campaign} seed={args.seed} "
+        f"trials={trials}{suffix} =="
+    )
+    artifact_dir = Path(args.artifact_dir)
+    artifacts: List[str] = []
+
+    def on_trial(index, spec, trial) -> None:
+        protocol = spec.config["protocol"]
+        mws = spec.config["directory"]["max_wired_sharers"]
+        label = f"{protocol}-mws{mws}" if protocol == "widir" else protocol
+        if trial.ok:
+            print(
+                f"  trial {index:02d} {label:<12} ok    "
+                f"digest={trial.digest} cycles={trial.cycles}"
+            )
+            return
+        print(f"  trial {index:02d} {label:<12} FAIL  {trial.failure}")
+        spec_to_save = spec
+        original_ops = spec.total_ops
+        if not args.no_shrink:
+            spec_to_save = shrink_trial(spec)
+            print(
+                f"    shrunk {original_ops} -> {spec_to_save.total_ops} ops"
+            )
+        artifact = FailureArtifact(
+            campaign=args.campaign,
+            seed=args.seed,
+            trial_index=index,
+            failure=trial.failure,
+            spec=spec_to_save,
+            shrunk=not args.no_shrink,
+            original_ops=original_ops,
+            shrunk_ops=spec_to_save.total_ops,
+        )
+        name = f"{args.campaign}-s{args.seed}-t{index:03d}.json"
+        artifact.save(artifact_dir / name)
+        artifacts.append(name)
+        print(f"    artifact: {name}")
+
+    campaign_result = run_campaign(
+        args.campaign,
+        seed=args.seed,
+        trials=trials,
+        mutation=args.mutate,
+        on_trial=on_trial,
+    )
+    failures = violations + len(campaign_result.failures)
+    print(
+        f"== summary: litmus_violations={violations} "
+        f"fuzz_failures={len(campaign_result.failures)} "
+        f"campaign_digest={campaign_result.digest} =="
+    )
+    if artifacts:
+        print(
+            f"replay with: python -m repro verify replay "
+            f"{args.artifact_dir}/{artifacts[0]}"
+        )
+    return 1 if failures else 0
+
+
 def _cmd_apps(_args: argparse.Namespace) -> int:
     print(f"{'app':14s} {'suite':8s} {'paper MPKI':>10s} {'sharing mix'}")
     for name in ALL_APPS:
@@ -306,6 +483,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "apps": _cmd_apps,
         "profile": _cmd_profile,
+        "verify": _cmd_verify,
     }
     return handlers[args.command](args)
 

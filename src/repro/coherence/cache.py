@@ -116,6 +116,10 @@ class CacheController:
         self._rmw_watch: Dict[int, Dict] = {}
         #: Monotonic serial for outgoing GetS/GetX (stale-Nack filtering).
         self._request_serial = 0
+        #: Online invariant monitor hook (set by OnlineInvariantMonitor
+        #: .install(); None — the default — costs one attribute test per
+        #: message/frame and nothing else).
+        self._monitor = None
 
         # Hot-path counters are stored as bound ``Counter.add`` methods
         # (see StatsRegistry.adder): one call, no per-event attribute walk
@@ -353,6 +357,9 @@ class CacheController:
 
     def handle_message(self, msg: Message) -> None:
         """Entry point for wired messages addressed to this private cache."""
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.touch(msg.line)
         kid = msg.kind_id
         table = self._WIRED_DISPATCH
         handler = table[kid] if kid < len(table) else None
@@ -612,6 +619,9 @@ class CacheController:
 
     def handle_frame(self, frame: WirelessFrame) -> None:
         """Entry point for broadcast frames heard by this tile's transceiver."""
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.touch(frame.line)
         kid = frame.kind_id
         if kid == mk.WIR_UPD_ID:
             self._on_frame_upd(frame)

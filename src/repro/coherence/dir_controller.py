@@ -98,6 +98,10 @@ class DirectoryController:
         self._max_wired = config.directory.max_wired_sharers
         self._num_pointers = config.directory.num_pointers
         self._widir = config.uses_wireless and wireless is not None
+        #: Online invariant monitor hook (set by OnlineInvariantMonitor
+        #: .install(); None — the default — costs one attribute test per
+        #: message/frame and nothing else).
+        self._monitor = None
 
         # Hot-path counters are stored as bound ``Counter.add`` methods
         # (see StatsRegistry.adder): one call, no per-event attribute walk.
@@ -172,6 +176,9 @@ class DirectoryController:
 
     def handle_message(self, msg: Message) -> None:
         """Entry point for wired messages addressed to this home node."""
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.touch(msg.line)
         kid = msg.kind_id
         if kid == mk.GETS_ID or kid == mk.GETX_ID:
             self._on_request(msg)
@@ -821,6 +828,9 @@ class DirectoryController:
 
     def handle_frame(self, frame: WirelessFrame) -> None:
         """Wireless frames heard at this tile that concern lines homed here."""
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.touch(frame.line)
         if frame.kind_id != mk.WIR_UPD_ID:
             return
         if self.amap.home_of(frame.line) != self.node:

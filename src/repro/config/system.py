@@ -201,6 +201,15 @@ class SystemConfig:
     wireless: WirelessConfig = field(default_factory=WirelessConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     seed: int = 42
+    #: Online invariant checking period in cycles (0 = off, the default).
+    #: When positive, :class:`~repro.system.Manycore` attaches an
+    #: :class:`~repro.coherence.checker.OnlineInvariantMonitor` that sweeps
+    #: recently touched lines every ``check_interval`` cycles and raises
+    #: :class:`~repro.engine.errors.ProtocolError` *at the offending cycle*
+    #: instead of waiting for the end-of-run quiescent check. The monitor
+    #: only observes (no RNG draws, no protocol messages), so enabling it
+    #: never changes simulated behaviour — only when a violation is caught.
+    check_interval: int = 0
 
     @property
     def mesh_width(self) -> int:
@@ -238,6 +247,7 @@ class SystemConfig:
             self.l1.line_bytes == self.l2.line_bytes,
             "L1 and L2 must use the same line size",
         )
+        _require(self.check_interval >= 0, "check_interval must be >= 0 (0 = off)")
 
     # ------------------------------------------------------- serialization
 
@@ -265,4 +275,7 @@ class SystemConfig:
             wireless=WirelessConfig(**payload["wireless"]),
             memory=MemoryConfig(**payload["memory"]),
             seed=payload["seed"],
+            # Absent in payloads recorded before the verification subsystem
+            # existed; 0 (off) reproduces their behaviour exactly.
+            check_interval=payload.get("check_interval", 0),
         )

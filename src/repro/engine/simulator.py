@@ -37,6 +37,16 @@ class Simulator:
         """Total callbacks run so far (a cheap progress / cost metric)."""
         return self._events_executed
 
+    @property
+    def pending_events(self) -> int:
+        """Live (non-cancelled) events still queued.
+
+        Periodic observers (e.g. the online invariant checker) use this to
+        decide whether to re-arm: a self-rescheduling event would otherwise
+        keep :meth:`run`'s drain loop alive forever.
+        """
+        return len(self.queue)
+
     def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
         """Run ``callback`` ``delay`` cycles from now (delay >= 0).
 

@@ -68,6 +68,10 @@ class MeshNetwork:
         ] = {}
         self._sends_until_prune = PRUNE_INTERVAL
         self._handlers: Dict[int, Callable[[Message], None]] = {}
+        #: Online invariant monitor hook (duck-typed: needs ``msg_sent`` and
+        #: ``msg_delivered``). None — the default — costs one attribute test
+        #: per send/delivery and nothing else.
+        self.monitor = None
         self._messages = stats.counter("noc.messages")
         self._data_messages = stats.counter("noc.data_messages")
         self._total_hops = stats.counter("noc.total_hops")
@@ -124,6 +128,9 @@ class MeshNetwork:
         """
         now = self.sim.now
         message.sent_at = now
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.msg_sent(message.line)
         src = message.src
         dst = message.dst
         pair = (src, dst)
@@ -199,6 +206,9 @@ class MeshNetwork:
         return time
 
     def _deliver(self, message: Message) -> None:
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.msg_delivered(message.line)
         handler = self._handlers.get(message.dst)
         if handler is None:
             raise KeyError(f"no handler registered for node {message.dst}")

@@ -13,7 +13,7 @@ from typing import List, Optional
 
 from repro.coherence import messages as mk
 from repro.coherence.cache import CacheController
-from repro.coherence.checker import CoherenceChecker
+from repro.coherence.checker import CoherenceChecker, OnlineInvariantMonitor
 from repro.coherence.dir_controller import DirectoryController
 from repro.config.system import SystemConfig
 from repro.engine.simulator import Simulator
@@ -126,6 +126,13 @@ class Manycore:
                 self.wireless.register_receiver(node, self._make_frame_router(node))
 
         self.checker = CoherenceChecker(self.caches, self.directories, self.memory)
+
+        #: Online invariant checking (verification subsystem): observes
+        #: every controller and validates per-line invariants mid-run.
+        self.monitor: Optional[OnlineInvariantMonitor] = None
+        if config.check_interval > 0:
+            self.monitor = OnlineInvariantMonitor(self)
+            self.monitor.install()
 
     def _make_wired_router(self, node: int):
         cache = self.caches[node]

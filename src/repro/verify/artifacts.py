@@ -1,0 +1,172 @@
+"""Replayable failure artifacts and delta-debugging shrink.
+
+When a fuzz trial fails, the campaign driver captures the *entire* trial —
+config, programs, every injector seed — as a :class:`FailureArtifact`,
+runs a bounded delta-debugging pass (:func:`shrink_trial`) to cut the
+reproducer down, and serializes the result to JSON. ``repro verify replay
+<artifact.json>`` rebuilds the machine from the bundle and re-executes it;
+because the whole stack is deterministic, the replay reproduces the
+original failure bit-for-bit.
+
+The shrinker is ddmin-flavoured but protocol-aware:
+
+1. drop whole cores' programs,
+2. halve each surviving program, then drop individual ops,
+3. strip injectors (jam storm, tone jitter, mesh jitter, backoff
+   scramble) that are not needed to reproduce.
+
+Every candidate is validated by re-executing it (``check``), so the
+shrunk artifact is failing *by construction*, and the pass is bounded by
+``max_checks`` re-executions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.verify.fuzz import TrialSpec, execute_trial
+
+#: Schema tag so future formats can migrate old artifacts.
+ARTIFACT_VERSION = 1
+
+
+def default_check(spec: TrialSpec) -> Optional[str]:
+    """Re-execute ``spec``; return the failure reason or None if it passes."""
+    result = execute_trial(spec)
+    return None if result.ok else result.failure
+
+
+@dataclass
+class FailureArtifact:
+    """A self-contained, replayable description of one failing trial."""
+
+    campaign: str
+    seed: int
+    trial_index: int
+    failure: str
+    spec: TrialSpec
+    shrunk: bool = False
+    original_ops: int = 0
+    shrunk_ops: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": ARTIFACT_VERSION,
+            "campaign": self.campaign,
+            "seed": self.seed,
+            "trial_index": self.trial_index,
+            "failure": self.failure,
+            "spec": self.spec.to_dict(),
+            "shrunk": self.shrunk,
+            "original_ops": self.original_ops,
+            "shrunk_ops": self.shrunk_ops,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FailureArtifact":
+        return cls(
+            campaign=payload["campaign"],
+            seed=payload["seed"],
+            trial_index=payload["trial_index"],
+            failure=payload["failure"],
+            spec=TrialSpec.from_dict(payload["spec"]),
+            shrunk=payload.get("shrunk", False),
+            original_ops=payload.get("original_ops", 0),
+            shrunk_ops=payload.get("shrunk_ops", 0),
+            notes=payload.get("notes", []),
+        )
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path) -> "FailureArtifact":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+# -------------------------------------------------------------------- shrink
+
+
+def _clone(spec: TrialSpec, **overrides) -> TrialSpec:
+    payload = spec.to_dict()
+    clone = TrialSpec.from_dict(payload)
+    for key, value in overrides.items():
+        setattr(clone, key, value)
+    return clone
+
+
+def shrink_trial(
+    spec: TrialSpec,
+    check: Callable[[TrialSpec], Optional[str]] = default_check,
+    max_checks: int = 120,
+) -> TrialSpec:
+    """Minimize ``spec`` while ``check`` still reports a failure.
+
+    ``check`` returns the failure reason (any reason — the minimal
+    reproducer may fail differently than the original, which is standard
+    ddmin behaviour) or None when the candidate passes.
+    """
+    budget = {"left": max_checks}
+
+    def still_fails(candidate: TrialSpec) -> bool:
+        if budget["left"] <= 0:
+            return False
+        budget["left"] -= 1
+        return check(candidate) is not None
+
+    best = spec
+
+    # Pass 1: drop whole cores' programs (keep list length = core count so
+    # node numbering, and thus homes and seeds, stay stable).
+    for node in range(len(best.programs)):
+        if not best.programs[node]:
+            continue
+        programs = [list(p) for p in best.programs]
+        programs[node] = []
+        candidate = _clone(best, programs=programs)
+        if still_fails(candidate):
+            best = candidate
+
+    # Pass 2: binary-chop each surviving program, then single ops.
+    for node in range(len(best.programs)):
+        chunk = max(1, len(best.programs[node]) // 2)
+        while chunk >= 1 and budget["left"] > 0:
+            start = 0
+            while start < len(best.programs[node]) and budget["left"] > 0:
+                program = best.programs[node]
+                candidate_program = program[:start] + program[start + chunk:]
+                programs = [list(p) for p in best.programs]
+                programs[node] = candidate_program
+                candidate = _clone(best, programs=programs)
+                if still_fails(candidate):
+                    best = candidate  # retry same offset: list shifted left
+                else:
+                    start += chunk
+            chunk //= 2
+
+    # Pass 3: strip injectors one at a time.
+    for overrides in (
+        {"jam_storm": []},
+        {"tone_jitter": 0},
+        {"mesh_jitter": 0},
+        {"backoff_seed": None},
+        {"jitter_window": 0},
+    ):
+        key = next(iter(overrides))
+        if getattr(best, key) == overrides[key]:
+            continue
+        candidate = _clone(best, **overrides)
+        if still_fails(candidate):
+            best = candidate
+
+    return best

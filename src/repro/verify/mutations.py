@@ -1,0 +1,86 @@
+"""Seeded protocol mutations for validating the verification subsystem.
+
+A mutation re-introduces a *known-wrong* behaviour into a freshly built
+:class:`~repro.system.Manycore` by monkeypatching instance attributes —
+the source is never touched, and an unmutated machine is bit-identical to
+production. The test suite (and ``repro verify --mutate``) uses these to
+prove the campaigns detect real bugs: a bounded campaign that passes under
+every mutation would be a campaign that cannot catch anything.
+
+All patches are deterministic (no RNG, no wall clock), so a mutated
+campaign is exactly as reproducible as a clean one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.system import Manycore
+
+
+def _no_jam_nack(machine: Manycore) -> None:
+    """Disable selective jamming: the channel never NACKs a jammed line.
+
+    This removes the paper's Section III-C1 protection — WirUpd frames for
+    lines whose directory entry is mid-transition sail through, so sharers
+    merge updates against stale snapshots. Detected by the value-agreement
+    invariant (online or final) or the load-provenance oracle.
+    """
+    if machine.wireless is None:
+        raise ValueError("no_jam_nack needs a WiDir machine")
+    machine.wireless.is_jammed = lambda line: False  # type: ignore[method-assign]
+
+
+def _lost_tone_drop(machine: Manycore) -> None:
+    """Silently lose every third ToneAck drop.
+
+    The initiating directory keeps hearing a tone that was in fact
+    dropped, so the S->W / W->S transition never completes and the entry
+    stays busy forever. Detected as a deadlock (unfinished programs or an
+    exceeded event budget).
+    """
+    if machine.tone is None:
+        raise ValueError("lost_tone_drop needs a WiDir machine")
+    tone = machine.tone
+    original_drop = tone.drop
+    state = {"count": 0}
+
+    def lossy_drop(key: int, node: int) -> None:
+        state["count"] += 1
+        if state["count"] % 3 == 0:
+            return  # the drop vanishes into the ether
+        original_drop(key, node)
+
+    tone.drop = lossy_drop  # type: ignore[method-assign]
+
+
+def _no_home_wirupd_merge(machine: Manycore) -> None:
+    """The home directory stops merging WirUpd frames into the LLC copy.
+
+    The LLC image of a W line goes stale, so later joins/downgrades hand
+    out old data. Detected by value agreement (LLC vs sharers) or load
+    provenance after a W->S fallback.
+    """
+    if machine.wireless is None:
+        raise ValueError("no_home_wirupd_merge needs a WiDir machine")
+    for directory in machine.directories:
+        directory.handle_frame = lambda frame: None  # type: ignore[method-assign]
+
+
+#: name -> patcher. Names are part of the CLI surface (``--mutate``).
+MUTATIONS: Dict[str, Callable[[Manycore], None]] = {
+    "no_jam_nack": _no_jam_nack,
+    "lost_tone_drop": _lost_tone_drop,
+    "no_home_wirupd_merge": _no_home_wirupd_merge,
+}
+
+
+def apply_mutation(machine: Manycore, name: str) -> None:
+    """Apply the named mutation to ``machine`` (raises KeyError if unknown)."""
+    try:
+        patcher = MUTATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mutation {name!r}; available: {sorted(MUTATIONS)}"
+        ) from None
+    patcher(machine)

@@ -21,7 +21,15 @@ class BackoffPolicy:
         self._rng = rng
 
     def delay_for_attempt(self, failures: int) -> int:
-        """Backoff delay after the ``failures``-th consecutive failure (>=1)."""
-        exponent = min(max(failures, 1), self.max_exponent)
+        """Backoff delay after the ``failures``-th consecutive failure (>=1).
+
+        The delay is uniform in ``[1, base * 2**(exponent-1)]`` where the
+        exponent grows with the failure count up to ``max_exponent``, so the
+        result is always bounded by ``base * 2**max_exponent`` and fully
+        determined by the policy's RNG stream. ``max_exponent == 0`` (legal
+        per :class:`~repro.config.system.WirelessConfig`) degenerates to a
+        fixed window of ``base`` cycles instead of shifting by -1.
+        """
+        exponent = min(max(failures, 1), max(self.max_exponent, 1))
         window = self.base << (exponent - 1)
         return 1 + self._rng.randint(0, window - 1)

@@ -106,9 +106,17 @@ class WirelessDataChannel:
         self.jam_address_bits = jam_address_bits
         self._receivers: Dict[int, Callable[[WirelessFrame], None]] = {}
         self._pending: List[TransmitRequest] = []
-        #: Lines whose data updates (jammable frames) are being NACKed.
-        #: Directory transition frames pass regardless (frame.jammable).
-        self._jammed_lines: Set[int] = set()
+        #: Lines whose data updates (jammable frames) are being NACKed,
+        #: refcounted: ``jam``/``unjam`` nest, so a fault injector's jam
+        #: storm overlapping a directory's own transition jam cannot lift
+        #: the directory's jam early. Protocol use is always a matched
+        #: non-nested pair per line, for which the behaviour is identical
+        #: to the historical plain set.
+        self._jammed_lines: Dict[int, int] = {}
+        #: The sole arbitration winner currently occupying the medium
+        #: (between its arbitration cycle and its finish event); observed
+        #: by the online invariant checker's per-line quiescence predicate.
+        self._active_request: Optional[TransmitRequest] = None
         self._busy_until = 0
         self._arbitration_scheduled_at: Optional[int] = None
         self._backoff = [
@@ -155,13 +163,21 @@ class WirelessDataChannel:
 
         Only *jammable* frames (cores' WirUpd) are affected; the jamming
         directory's own transition broadcasts always pass. ``owner`` is
-        accepted for API symmetry and diagnostics only.
+        accepted for API symmetry and diagnostics only. Jams nest: the line
+        stays jammed until every :meth:`jam` has been matched by an
+        :meth:`unjam`.
         """
-        self._jammed_lines.add(line)
+        self._jammed_lines[line] = self._jammed_lines.get(line, 0) + 1
 
     def unjam(self, line: int) -> None:
-        """Stop jamming ``line``; pending senders will succeed on retry."""
-        self._jammed_lines.discard(line)
+        """Release one jam on ``line``; senders succeed on retry once the
+        last overlapping jam is lifted. Unjamming an unjammed line is a
+        harmless no-op (mirrors the historical ``set.discard``)."""
+        count = self._jammed_lines.get(line, 0)
+        if count <= 1:
+            self._jammed_lines.pop(line, None)
+        else:
+            self._jammed_lines[line] = count - 1
 
     def is_jammed(self, line: int) -> bool:
         """Would a jammable frame for ``line`` be NACKed right now?"""
@@ -169,6 +185,18 @@ class WirelessDataChannel:
             return line in self._jammed_lines
         mask = (1 << self.jam_address_bits) - 1
         return any((line & mask) == (jammed & mask) for jammed in self._jammed_lines)
+
+    def line_in_flight(self, line: int) -> bool:
+        """True while any non-cancelled frame for ``line`` is queued or on
+        the medium — the window in which copies of the line may legally
+        disagree (a committed WirUpd merged at the sender but not yet
+        delivered). Used by the online invariant checker."""
+        active = self._active_request
+        if active is not None and not active.cancelled and active.frame.line == line:
+            return True
+        return any(
+            not r.cancelled and r.frame.line == line for r in self._pending
+        )
 
     @property
     def collision_probability(self) -> float:
@@ -236,6 +264,7 @@ class WirelessDataChannel:
         # the end-of-frame cycle (before the finish event) must not see it
         # as a contender and transmit it twice.
         self._remove_pending(request)
+        self._active_request = request
         self._busy_until = now + config.frame_cycles
         self._busy_cycles.add(config.frame_cycles)
         self.sim.schedule_at(now + header, lambda: self._commit(request))
@@ -262,6 +291,8 @@ class WirelessDataChannel:
             request.on_commit()
 
     def _finish(self, request: TransmitRequest) -> None:
+        if self._active_request is request:
+            self._active_request = None
         if not request.committed:
             self._schedule_arbitration(self.sim.now)
             return

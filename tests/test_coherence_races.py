@@ -8,9 +8,15 @@ see DESIGN.md section 5 for the design-level write-ups.
 import pytest
 
 from repro.config import baseline_config, widir_config
+from repro.config.system import WirelessConfig
 from repro.coherence import messages as mk
+from repro.engine.rng import DeterministicRng
+from repro.engine.simulator import Simulator
 from repro.noc.message import Message
+from repro.stats.collectors import StatsRegistry
 from repro.system import Manycore
+from repro.wireless.channel import WirelessDataChannel
+from repro.wireless.frames import WirelessFrame
 
 
 ADDR = 0x0003_0000
@@ -319,3 +325,139 @@ class TestWirelessWriteSquash:
         assert done == [1]
         assert load(machine, 6) == 31337
         machine.check_coherence()
+
+
+# --------------------------------------------------------------------------
+# Jam-vs-commit window (channel-level directed races)
+# --------------------------------------------------------------------------
+
+
+def _channel(num_nodes=4, seed=7):
+    sim = Simulator(seed)
+    channel = WirelessDataChannel(
+        sim, WirelessConfig(), num_nodes, StatsRegistry(), DeterministicRng(3)
+    )
+    return sim, channel
+
+
+class TestJamVsCommitWindow:
+    """Races around the serialization point (paper IV-C): the moment a
+    frame survives the collision-detect slot it is *guaranteed* to
+    transmit. A jam (or cancel) that arrives after that moment must not
+    retract the frame; a jam that lands in the same cycle as arbitration
+    must NACK it before its commit callback ever runs."""
+
+    def test_frame_past_collision_detect_is_not_jammable(self):
+        """Jam registered after the collision-detect slot: the in-flight
+        WirUpd still commits and delivers — the jam only affects later
+        frames for the line."""
+        sim, channel = _channel()
+        heard = []
+        channel.register_receiver(0, lambda f: heard.append(f.value))
+        events = []
+        channel.transmit(
+            WirelessFrame("WirUpd", 1, 0x200, 0, 77),
+            on_commit=lambda: events.append(("commit", sim.now)),
+            on_delivered=lambda: events.append(("delivered", sim.now)),
+        )
+        header = (
+            channel.config.preamble_cycles
+            + channel.config.collision_detect_cycles
+        )
+        # Run exactly through the commit cycle, then jam.
+        sim.run(until=header)
+        assert ("commit", header) in events
+        channel.jam(0x200)
+        sim.run()
+        assert heard == [77]
+        assert [kind for kind, _ in events] == ["commit", "delivered"]
+        assert channel.stats.get_counter("wnoc.jams") == 0
+
+    def test_frame_past_collision_detect_is_not_cancellable(self):
+        """cancel() after the serialization point returns False and the
+        broadcast still reaches every receiver exactly once."""
+        sim, channel = _channel()
+        heard = []
+        channel.register_receiver(2, lambda f: heard.append(f.value))
+        request = channel.transmit(WirelessFrame("WirUpd", 1, 0x240, 0, 9))
+        header = (
+            channel.config.preamble_cycles
+            + channel.config.collision_detect_cycles
+        )
+        sim.run(until=header)
+        assert request.committed
+        assert request.cancel() is False
+        sim.run()
+        assert heard == [9]
+
+    def test_cancel_inside_collision_detect_window_squashes(self):
+        """The complementary race: a cancel that lands *between*
+        arbitration and the commit cycle wins — the slot is wasted but
+        the frame never commits, never delivers, and the medium stays
+        live for the next sender."""
+        sim, channel = _channel()
+        heard = []
+        channel.register_receiver(0, lambda f: heard.append(f.value))
+        fired = []
+        request = channel.transmit(
+            WirelessFrame("WirUpd", 1, 0x280, 0, 5),
+            on_commit=lambda: fired.append("commit"),
+            on_delivered=lambda: fired.append("delivered"),
+        )
+        # Arbitration happens at cycle 0; cancel in the collision-detect
+        # slot, strictly before the commit event.
+        sim.schedule_at(1, lambda: request.cancel())
+        sim.run()
+        assert fired == []
+        assert heard == []
+        assert channel.stats.get_counter("wnoc.cancellations") == 1
+        # Medium is not wedged: a follow-up frame transmits normally.
+        channel.transmit(WirelessFrame("WirUpd", 2, 0x280, 0, 6))
+        sim.run()
+        assert heard == [6]
+
+    def test_jam_same_cycle_as_arbitration_nacks_before_commit(self):
+        """A jam registered in the same cycle the frame arbitrates (but
+        ahead of it in event order — the directory acts first) NACKs the
+        frame in the collision-detect slot: commit must NOT run until the
+        jam is lifted and the backed-off retry succeeds."""
+        sim, channel = _channel()
+        heard = []
+        channel.register_receiver(3, lambda f: heard.append(f.value))
+        commits = []
+
+        def launch():
+            channel.jam(0x2C0)  # directory's jam lands first...
+            channel.transmit(  # ...the frame arbitrates the same cycle
+                WirelessFrame("WirUpd", 1, 0x2C0, 0, 13),
+                on_commit=lambda: commits.append(sim.now),
+            )
+
+        sim.schedule_at(5, launch)
+        unjam_at = 60
+        sim.schedule_at(unjam_at, lambda: channel.unjam(0x2C0))
+        sim.run(until=200_000)
+        assert channel.stats.get_counter("wnoc.jams") >= 1
+        assert heard == [13]
+        assert len(commits) == 1
+        assert commits[0] > unjam_at, (
+            "frame committed while the line was still jammed"
+        )
+
+    def test_nested_fault_injector_jam_cannot_lift_directory_jam(self):
+        """Refcounted jamming: an overlapping jam/unjam pair (e.g. a fuzz
+        jam storm) inside a directory's own jam window must not unjam the
+        line early."""
+        sim, channel = _channel()
+        heard = []
+        channel.register_receiver(0, lambda f: heard.append(f.value))
+        channel.jam(0x300)  # directory
+        channel.jam(0x300)  # injector storm begins
+        channel.transmit(WirelessFrame("WirUpd", 1, 0x300, 0, 21))
+        channel.unjam(0x300)  # storm ends — directory jam must survive
+        assert channel.is_jammed(0x300)
+        sim.run(until=300)
+        assert heard == []  # still NACKed by the directory's jam
+        channel.unjam(0x300)
+        sim.run(until=200_000)
+        assert heard == [21]

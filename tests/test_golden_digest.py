@@ -19,6 +19,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import replace
+
+import pytest
 
 from repro.config.presets import baseline_config, widir_config
 from repro.harness.runner import run_app
@@ -39,6 +42,17 @@ GOLDEN_BASELINE_DIGEST = (
 GOLDEN_WIDIR_DIGEST = (
     "172da0cc5342cf0995c04ab5cef03a973943545b0bae3536611a26399f90a944"
 )
+
+#: Threshold sweep: the same WiDir workload with ``MaxWiredSharers`` forced
+#: to the extremes. mws=1 pushes nearly every shared line into the W state
+#: (fallback path digest-locked); mws=3 is the preset default, so its digest
+#: equals GOLDEN_WIDIR_DIGEST *by construction* — keeping it in the sweep
+#: locks the S->W re-entry path explicitly and catches accidental drift of
+#: the preset default itself.
+GOLDEN_WIDIR_THRESHOLD_DIGESTS = {
+    1: "982dccb18afcf69b770e42649e1d110064d4cf36708e7a360dc8dceea67564a4",
+    3: "172da0cc5342cf0995c04ab5cef03a973943545b0bae3536611a26399f90a944",
+}
 
 
 def golden_digest(result) -> str:
@@ -88,6 +102,34 @@ def test_golden_widir_digest():
         f"{digest}. The fast path must be bit-identical in simulated "
         "behaviour; if a change is *intentional*, re-record the digest."
     )
+
+
+@pytest.mark.parametrize(
+    "mws", sorted(GOLDEN_WIDIR_THRESHOLD_DIGESTS), ids=lambda m: f"mws{m}"
+)
+def test_golden_widir_threshold_sweep_digest(mws):
+    """Digest-lock the W-state fallback (mws=1) and re-entry (mws=3) paths,
+    not just the default config."""
+    cfg = widir_config(num_cores=GOLDEN_CORES, seed=GOLDEN_SEED)
+    cfg = replace(
+        cfg,
+        directory=replace(cfg.directory, max_wired_sharers=mws),
+    )
+    digest = _run(cfg)
+    assert digest == GOLDEN_WIDIR_THRESHOLD_DIGESTS[mws], (
+        f"WiDir MaxWiredSharers={mws} golden run diverged from the recorded "
+        f"digest: {digest}. The threshold fallback/re-entry paths must be "
+        "bit-identical; if a change is *intentional*, re-record the digest."
+    )
+
+
+def test_golden_widir_default_matches_threshold_entry():
+    """The preset default (mws=3) is pinned by the sweep table; if the
+    preset ever changes its default, this cross-check fires before the
+    digest silently moves to a different table row."""
+    cfg = widir_config(num_cores=GOLDEN_CORES, seed=GOLDEN_SEED)
+    assert cfg.directory.max_wired_sharers == 3
+    assert GOLDEN_WIDIR_THRESHOLD_DIGESTS[3] == GOLDEN_WIDIR_DIGEST
 
 
 def test_golden_digest_is_repeatable_in_process():

@@ -68,10 +68,15 @@ def test_property_exactly_once_delivery_and_liveness(events, seed):
                 else:
                     sent.append(value)
             elif action == "jam":
-                jam_state[line] = True
+                # Jams are refcounted (nest): the model counts them so the
+                # final lift below releases every level.
+                jam_state[line] = jam_state.get(line, 0) + 1
                 channel.jam(line)
             else:
-                jam_state.pop(line, None)
+                if jam_state.get(line, 0) > 1:
+                    jam_state[line] -= 1
+                else:
+                    jam_state.pop(line, None)
                 channel.unjam(line)
 
         sim.schedule_at(max(at, sim.now) if at >= sim.now else sim.now, run)
@@ -80,9 +85,11 @@ def test_property_exactly_once_delivery_and_liveness(events, seed):
         do(at, node, line_index, action)
 
     sim.run(until=100_000, max_events=2_000_000)
-    # Lift any jam still standing so pending frames can drain (liveness).
-    for line in list(jam_state):
-        channel.unjam(line)
+    # Lift any jam still standing — every nested level — so pending frames
+    # can drain (liveness).
+    for line, count in list(jam_state.items()):
+        for _ in range(count):
+            channel.unjam(line)
     sim.run(max_events=2_000_000)
 
     assert sorted(delivered) == sorted(sent), "exactly-once delivery violated"

@@ -1,0 +1,170 @@
+"""Hypothesis property tests for the ToneAck channel and BRS backoff.
+
+Complements the directed tests in test_wireless_tone.py and the channel
+fuzz in test_wireless_fuzz.py with algebraic properties:
+
+* a ToneAck completes exactly when every registered participant has
+  dropped its tone — never before, regardless of drop order;
+* dropping twice (or dropping a node that never raised a tone) is
+  idempotent and cannot complete an operation early;
+* ``BackoffPolicy.delay_for_attempt`` is always in
+  ``[1, base * 2**max_exponent]`` and is a pure function of the RNG seed
+  and call sequence (bit-for-bit reproducible).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine.rng import DeterministicRng
+from repro.engine.simulator import Simulator
+from repro.stats.collectors import StatsRegistry
+from repro.wireless.brs import BackoffPolicy
+from repro.wireless.tone import ToneChannel
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _channel(tone_cycles: int = 1) -> ToneChannel:
+    return ToneChannel(Simulator(0), tone_cycles, StatsRegistry())
+
+
+# ---------------------------------------------------------------- ToneAck
+
+
+@SETTINGS
+@given(
+    participants=st.sets(st.integers(0, 15), min_size=1, max_size=12),
+    order_seed=st.integers(0, 2**32 - 1),
+    extra_drops=st.integers(0, 3),
+)
+def test_property_tone_completes_iff_every_participant_dropped(
+    participants, order_seed, extra_drops
+):
+    """Silence fires exactly once, exactly after the *last* distinct
+    participant drops — for every drop order and any amount of
+    double-dropping along the way."""
+    channel = _channel()
+    fired = []
+    channel.begin(0x40, set(participants), lambda: fired.append(True))
+
+    order = sorted(participants)
+    DeterministicRng(order_seed).shuffle(order)
+
+    for i, node in enumerate(order):
+        assert channel.in_flight(0x40), "completed before all drops"
+        assert not fired
+        channel.drop(0x40, node)
+        # Idempotence: re-dropping an already-dropped node changes nothing.
+        for _ in range(extra_drops):
+            channel.drop(0x40, node)
+        if i < len(order) - 1:
+            assert channel.in_flight(0x40), (
+                f"completed early after {i + 1}/{len(order)} drops"
+            )
+
+    assert not channel.in_flight(0x40)
+    # Callback is scheduled (detection latency), not synchronous:
+    assert not fired
+    channel.sim.run()
+    assert fired == [True]
+
+
+@SETTINGS
+@given(
+    participants=st.sets(st.integers(0, 15), min_size=1, max_size=12),
+    outsiders=st.sets(st.integers(16, 31), min_size=1, max_size=4),
+)
+def test_property_tone_ignores_drops_from_non_participants(
+    participants, outsiders
+):
+    """Nodes that never raised a tone cannot silence the channel."""
+    channel = _channel()
+    fired = []
+    channel.begin(0x80, set(participants), lambda: fired.append(True))
+    for node in sorted(outsiders):
+        channel.drop(0x80, node)
+    assert channel.in_flight(0x80)
+    channel.sim.run()
+    assert not fired
+
+
+@SETTINGS
+@given(
+    participants=st.sets(st.integers(0, 15), max_size=8),
+    tone_cycles=st.integers(1, 5),
+)
+def test_property_tone_silence_latency_is_tone_cycles(
+    participants, tone_cycles
+):
+    """The callback fires exactly ``tone_cycles`` after the last drop
+    (or after ``begin`` when the participant set is already empty)."""
+    channel = _channel(tone_cycles)
+    sim = channel.sim
+    fired_at = []
+    channel.begin(0xC0, set(participants), lambda: fired_at.append(sim.now))
+    for node in sorted(participants):
+        channel.drop(0xC0, node)
+    silent_at = sim.now  # all drops were synchronous at cycle 0
+    sim.run()
+    assert fired_at == [silent_at + tone_cycles]
+
+
+# ------------------------------------------------------------ BRS backoff
+
+
+@SETTINGS
+@given(
+    base=st.integers(1, 64),
+    max_exponent=st.integers(0, 10),
+    failures=st.lists(st.integers(1, 40), min_size=1, max_size=30),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_property_backoff_bounded_and_positive(
+    base, max_exponent, failures, seed
+):
+    policy = BackoffPolicy(base, max_exponent, DeterministicRng(seed))
+    bound = base * 2**max_exponent
+    for count in failures:
+        delay = policy.delay_for_attempt(count)
+        assert 1 <= delay <= bound, (base, max_exponent, count, delay)
+
+
+@SETTINGS
+@given(
+    base=st.integers(1, 64),
+    max_exponent=st.integers(0, 10),
+    failures=st.lists(st.integers(1, 40), min_size=1, max_size=30),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_property_backoff_deterministic_per_seed(
+    base, max_exponent, failures, seed
+):
+    """Two policies built from equal seeds emit identical delay streams."""
+    first = BackoffPolicy(base, max_exponent, DeterministicRng(seed))
+    second = BackoffPolicy(base, max_exponent, DeterministicRng(seed))
+    assert [first.delay_for_attempt(n) for n in failures] == [
+        second.delay_for_attempt(n) for n in failures
+    ]
+
+
+@SETTINGS
+@given(
+    base=st.integers(1, 32),
+    max_exponent=st.integers(1, 8),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_property_backoff_window_saturates_at_max_exponent(
+    base, max_exponent, seed
+):
+    """Past ``max_exponent`` consecutive failures, the window stops
+    growing: the delay for any larger failure count obeys the same bound
+    as ``max_exponent`` itself."""
+    policy = BackoffPolicy(base, max_exponent, DeterministicRng(seed))
+    cap = base << (max_exponent - 1)
+    for count in (max_exponent, max_exponent + 1, max_exponent + 100):
+        assert policy.delay_for_attempt(count) <= cap
