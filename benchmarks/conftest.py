@@ -107,6 +107,9 @@ _BENCH_TIMINGS = {}
 #: Free-form metrics from the kernel microbenchmarks (speedup ratios,
 #: measured wall seconds); lands under ``"kernel"`` in BENCH_harness.json.
 _KERNEL_METRICS = {}
+#: Observability-overhead metrics (enabled/disabled wall ratios) from
+#: benchmarks/test_bench_obs.py; lands under ``"obs"``.
+_OBS_METRICS = {}
 _SESSION_STARTED = time.time()
 
 
@@ -114,6 +117,12 @@ _SESSION_STARTED = time.time()
 def kernel_metrics():
     """Mutable dict benchmarks fill; emitted as the ``kernel`` section."""
     return _KERNEL_METRICS
+
+
+@pytest.fixture(scope="session")
+def obs_metrics():
+    """Mutable dict the obs-overhead benchmark fills; emitted as ``obs``."""
+    return _OBS_METRICS
 
 
 def _bench_output_path():
@@ -164,6 +173,8 @@ def pytest_sessionfinish(session, exitstatus):
     }
     if _KERNEL_METRICS:
         payload["kernel"] = dict(sorted(_KERNEL_METRICS.items()))
+    if _OBS_METRICS:
+        payload["obs"] = dict(sorted(_OBS_METRICS.items()))
     try:
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     except OSError:  # pragma: no cover - read-only checkout

@@ -15,6 +15,10 @@ verify       run a protocol verification campaign (litmus suite + fault-
              injecting fuzzing with online invariant checking); failures
              are shrunk and archived as replayable JSON artifacts
 verify replay  re-execute a failure artifact (see docs/TESTING.md)
+trace run    run one app with the observability layer enabled; write a
+             Perfetto/Chrome ``trace.json`` plus a raw capture
+trace export   re-export a saved capture (chrome or text timeline)
+trace summarize  span/latency statistics of a saved capture
 =========== ==============================================================
 
 Simulations execute through :mod:`repro.harness.executor`: identical runs
@@ -217,6 +221,82 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         "replay", help="re-execute a failure artifact"
     )
     replay_parser.add_argument("artifact", help="path to the artifact JSON")
+
+    trace_parser = sub.add_parser(
+        "trace", help="record / export / summarize observability captures"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    trace_run = trace_sub.add_parser(
+        "run", help="run one app with tracing enabled and export a trace"
+    )
+    trace_run.add_argument(
+        "--app", choices=ALL_APPS, default="radiosity", help="application"
+    )
+    trace_run.add_argument(
+        "--preset", choices=("baseline", "widir"), default="widir"
+    )
+    trace_run.add_argument("--cores", type=int, default=16, help="core count")
+    trace_run.add_argument(
+        "--memops", type=int, default=800, help="memory references per core"
+    )
+    trace_run.add_argument("--seed", type=int, default=42, help="machine seed")
+    trace_run.add_argument(
+        "--trace-seed", type=int, default=0, help="workload trace seed"
+    )
+    trace_run.add_argument(
+        "--sample-interval",
+        type=int,
+        default=None,
+        help="counter sampling interval in cycles (default: ObsConfig)",
+    )
+    trace_run.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="flight-recorder ring depth per node (default: ObsConfig)",
+    )
+    trace_run.add_argument(
+        "--out", default="trace.json", help="Chrome/Perfetto trace output path"
+    )
+    trace_run.add_argument(
+        "--capture",
+        default=None,
+        help="also save the raw capture JSON (re-exportable offline)",
+    )
+    trace_run.add_argument(
+        "--timeline", action="store_true", help="print the text timeline too"
+    )
+    trace_run.add_argument(
+        "--limit", type=int, default=40, help="timeline rows to print"
+    )
+
+    trace_export = trace_sub.add_parser(
+        "export", help="re-export a saved capture JSON"
+    )
+    trace_export.add_argument("capture", help="path to a saved capture JSON")
+    trace_export.add_argument(
+        "--format", choices=("chrome", "text"), default="chrome"
+    )
+    trace_export.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: trace.json for chrome, stdout for text)",
+    )
+    trace_export.add_argument(
+        "--limit", type=int, default=None, help="text-timeline row cap"
+    )
+
+    trace_summarize = trace_sub.add_parser(
+        "summarize", help="print span/latency statistics of a saved capture"
+    )
+    trace_summarize.add_argument("capture", help="path to a saved capture JSON")
+    trace_summarize.add_argument(
+        "--timeline", action="store_true", help="print the text timeline too"
+    )
+    trace_summarize.add_argument(
+        "--limit", type=int, default=40, help="timeline rows to print"
+    )
     return parser.parse_args(argv)
 
 
@@ -232,6 +312,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  cycles            : {result.cycles:,}")
     print(f"  L1 MPKI           : {result.mpki:.2f}")
     print(f"  memory stall      : {result.memory_stall_fraction:.1%}")
+    percentiles = result.latency_percentiles()
+    if percentiles:
+        print(
+            f"  latency p50/95/99 : "
+            f"{percentiles['p50']:.0f} / {percentiles['p95']:.0f} / "
+            f"{percentiles['p99']:.0f} cycles"
+        )
     print(f"  wireless writes   : {result.wireless_writes:,}")
     print(f"  collision prob    : {result.collision_probability:.2%}")
     print(f"  energy (pJ)       : {result.energy.total:,.0f}")
@@ -363,6 +450,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             f"seed={artifact.seed} trial={artifact.trial_index}"
         )
         print(f"recorded failure: {artifact.failure}")
+        if artifact.trace:
+            from repro.obs.recorder import FlightRecorder
+
+            print("recorded timeline (flight-recorder window of the "
+                  "original failing run):")
+            for line in FlightRecorder.render_payload(
+                artifact.trace, indent="  "
+            ):
+                print(line)
         result = execute_trial(artifact.spec)
         if result.ok:
             print("replay PASSED — the failure did not reproduce")
@@ -438,6 +534,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             shrunk=not args.no_shrink,
             original_ops=original_ops,
             shrunk_ops=spec_to_save.total_ops,
+            trace=trial.trace,
         )
         name = f"{args.campaign}-s{args.seed}-t{index:03d}.json"
         artifact.save(artifact_dir / name)
@@ -465,6 +562,114 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Record, export, or summarize an observability capture.
+
+    ``trace run`` executes in-process through
+    :func:`repro.harness.runner.run_app` (no executor, no cache: the run
+    must own a live machine to read the capture from). The simulated
+    results are bit-identical with tracing on or off — the exported
+    ``trace.json`` is pure addition.
+    """
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.config.system import ObsConfig
+    from repro.obs import (
+        counter_track_names,
+        export_chrome_trace,
+        render_text_timeline,
+        summarize_capture,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    if args.trace_command in ("export", "summarize"):
+        capture = json.loads(Path(args.capture).read_text(encoding="utf-8"))
+        if args.trace_command == "summarize":
+            print(summarize_capture(capture))
+            if args.timeline:
+                print(render_text_timeline(capture, limit=args.limit))
+            return 0
+        if args.format == "text":
+            text = render_text_timeline(capture, limit=args.limit)
+            if args.out is None:
+                print(text)
+            else:
+                Path(args.out).write_text(text + "\n", encoding="utf-8")
+                print(f"wrote {args.out}")
+            return 0
+        out = Path(args.out if args.out is not None else "trace.json")
+        write_chrome_trace(capture, out)
+        print(f"wrote {out}")
+        return 0
+
+    # trace run
+    from repro.harness.runner import run_app
+
+    make = widir_config if args.preset == "widir" else baseline_config
+    config = make(num_cores=args.cores, seed=args.seed)
+    obs_defaults = ObsConfig()
+    config = replace(
+        config,
+        obs=ObsConfig(
+            enabled=True,
+            flight_recorder_depth=(
+                args.depth
+                if args.depth is not None
+                else obs_defaults.flight_recorder_depth
+            ),
+            sample_interval=(
+                args.sample_interval
+                if args.sample_interval is not None
+                else obs_defaults.sample_interval
+            ),
+        ),
+    )
+    sink: List = []
+    result = run_app(
+        args.app,
+        config,
+        args.memops,
+        trace_seed=args.trace_seed,
+        machine_sink=sink,
+    )
+    machine = sink[0]
+    capture = machine.obs.capture(app=args.app)
+
+    print(
+        f"{args.app} on {args.preset} @ {args.cores} cores: "
+        f"{result.cycles:,} cycles, {len(capture['spans'])} spans, "
+        f"{len(capture['events']['events'])} recorder events"
+    )
+    orphans = capture.get("orphans", [])
+    if orphans:
+        print(f"WARNING: {len(orphans)} orphan spans (ids {orphans[:8]} ...)")
+
+    if args.capture is not None:
+        capture_path = Path(args.capture)
+        capture_path.parent.mkdir(parents=True, exist_ok=True)
+        capture_path.write_text(
+            json.dumps(capture, sort_keys=True), encoding="utf-8"
+        )
+        print(f"wrote capture {capture_path}")
+
+    trace = export_chrome_trace(capture)
+    problems = validate_chrome_trace(trace)
+    out = Path(args.out)
+    write_chrome_trace(capture, out)
+    tracks = counter_track_names(trace)
+    print(f"wrote {out} ({len(trace['traceEvents'])} events)")
+    print(f"counter tracks: {', '.join(tracks)}")
+    if args.timeline:
+        print(render_text_timeline(capture, limit=args.limit))
+    if problems:
+        for problem in problems[:10]:
+            print(f"trace validation problem: {problem}", file=sys.stderr)
+        return 1
+    return 1 if orphans else 0
+
+
 def _cmd_apps(_args: argparse.Namespace) -> int:
     print(f"{'app':14s} {'suite':8s} {'paper MPKI':>10s} {'sharing mix'}")
     for name in ALL_APPS:
@@ -484,6 +689,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "apps": _cmd_apps,
         "profile": _cmd_profile,
         "verify": _cmd_verify,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -120,6 +120,10 @@ class CacheController:
         #: .install(); None — the default — costs one attribute test per
         #: message/frame and nothing else).
         self._monitor = None
+        #: Observability hook (set by Observability.install(); None — the
+        #: default — costs one attribute test per hook site and nothing
+        #: else; see repro.obs.hooks).
+        self._obs = None
 
         # Hot-path counters are stored as bound ``Counter.add`` methods
         # (see StatsRegistry.adder): one call, no per-event attribute walk
@@ -241,16 +245,23 @@ class CacheController:
         self, line: int, is_write: bool, is_sharer: bool, retry: Callable[[], None]
     ) -> None:
         existing = self.mshrs.get(line)
+        obs = self._obs
         if existing is not None:
             self._mshr_joins()
+            if obs is not None:
+                obs.event(self.node, "mshr.join", line)
             if is_write:
                 existing.is_write = True
             existing.add_waiter(retry)
             return
         if self.mshrs.full:
+            if obs is not None:
+                obs.event(self.node, "mshr.full", line)
             self.sim.schedule(MSHR_FULL_RETRY_CYCLES, retry)
             return
         mshr = self.mshrs.allocate(line, is_write, self.sim.now)
+        if obs is not None:
+            obs.miss_open(self.node, line, is_write)
         mshr.add_waiter(retry)
         resident = self.array.lookup(line, touch=False)
         if resident is not None:
@@ -330,11 +341,18 @@ class CacheController:
         line = victim.line
         self.array.remove(line)
         home = self.amap.home_of(line)
+        obs = self._obs
         if victim.state == SHARED:
+            if obs is not None:
+                obs.event(self.node, "evict.shared", line)
             self._send(mk.PUTS_ID, home, line)
         elif victim.state == WIRELESS:
+            if obs is not None:
+                obs.event(self.node, "evict.wireless", line)
             self._send(mk.PUTW_ID, home, line)
         elif victim.state in (EXCLUSIVE, MODIFIED):
+            if obs is not None:
+                obs.wb_open(self.node, line)
             dirty = victim.dirty
             snapshot = line_data(victim.data)
             self._evicting[line] = {"data": snapshot, "dirty": dirty}
@@ -344,6 +362,9 @@ class CacheController:
             self._send(mk.PUTM_ID, home, line, payload)
 
     def _complete_mshr(self, line: int) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.miss_close(self.node, line)
         mshr = self.mshrs.release(line)
         if mshr.tone_pending and self.tone is not None:
             self.tone.drop(line, self.node)
@@ -569,11 +590,17 @@ class CacheController:
         self._send(mk.INV_ACK_ID, msg.src, msg.line)
 
     def _on_put_ack(self, msg: Message) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.wb_close(self.node, msg.line)
         self._evicting.pop(msg.line, None)
 
     def _on_nack(self, msg: Message) -> None:
         """Bounced by a directory mid-transition: drop tone, retry later."""
         self._nacks()
+        obs = self._obs
+        if obs is not None:
+            obs.miss_nack(self.node, msg.line)
         mshr = self.mshrs.get(msg.line)
         if mshr is None:
             return  # the line arrived by other means (e.g. BrWirUpgr) already
@@ -593,6 +620,9 @@ class CacheController:
         mshr = self.mshrs.get(line)
         if mshr is None:
             return  # completed meanwhile (e.g. WirUpgr arrived)
+        obs = self._obs
+        if obs is not None:
+            obs.miss_retry(self.node, line)
         entry = self.array.lookup(line, touch=False)
         is_sharer = entry is not None and entry.state == SHARED
         self._send_request(mshr, line, mshr.is_write, is_sharer)
@@ -705,6 +735,9 @@ class CacheController:
         line = self.amap.line_of(address)
         word = self.amap.word_of(address)
         entry.update_count = 0
+        obs = self._obs
+        if obs is not None:
+            obs.event(self.node, "wless.store", line, f"word={word}")
         frame = WirelessFrame.acquire(mk.WIR_UPD_ID, self.node, line, word, value)
         pending = _PendingWirelessWrite(None, address, value, on_done)
 
@@ -742,6 +775,9 @@ class CacheController:
         bucket = self._pending_wireless.pop(line, None)
         if not bucket:
             return
+        obs = self._obs
+        if obs is not None:
+            obs.event(self.node, "wless.reissue", line, f"writes={len(bucket)}")
         resident = self.array.lookup(line, touch=False)
         if resident is not None and resident.pinned:
             resident.pinned -= 1
@@ -758,6 +794,9 @@ class CacheController:
         line = self.amap.line_of(address)
         word = self.amap.word_of(address)
         old = entry.data.get(word, 0)
+        obs = self._obs
+        if obs is not None:
+            obs.event(self.node, "rmw.issue", line, f"word={word}")
         entry.pinned += 1
         watch: Dict = {"address": address, "on_done": on_done}
 
@@ -785,6 +824,9 @@ class CacheController:
             return
         if not watch["request"].cancel():
             return  # already committed: its commit callback finishes the op
+        obs = self._obs
+        if obs is not None:
+            obs.event(self.node, "rmw.squash", line)
         del self._rmw_watch[line]
         resident = self.array.lookup(line, touch=False)
         if resident is not None and resident.pinned:
@@ -802,5 +844,8 @@ class CacheController:
         """UpdateCount saturated: this core stopped using the line (III-B2)."""
         self._self_invalidations()
         line = entry.line
+        obs = self._obs
+        if obs is not None:
+            obs.event(self.node, "l1.self_inv", line)
         self.array.remove(line)
         self._send(mk.PUTW_ID, self.amap.home_of(line), line)

@@ -102,6 +102,10 @@ class DirectoryController:
         #: .install(); None — the default — costs one attribute test per
         #: message/frame and nothing else).
         self._monitor = None
+        #: Observability hook (set by Observability.install(); None — the
+        #: default — costs one attribute test per hook site and nothing
+        #: else; see repro.obs.hooks).
+        self._obs = None
 
         # Hot-path counters are stored as bound ``Counter.add`` methods
         # (see StatsRegistry.adder): one call, no per-event attribute walk.
@@ -159,6 +163,9 @@ class DirectoryController:
 
     def _unbusy(self, entry: DirectoryEntry) -> None:
         """Close the current transaction and make forward progress."""
+        obs = self._obs
+        if obs is not None:
+            obs.dir_close(self.node, entry.line)
         entry.busy = False
         entry.transaction = None
         # A PutW processed mid-transaction may have left the wireless sharer
@@ -227,6 +234,9 @@ class DirectoryController:
                 # jam window instead of serializing the joins.
                 self._join_wireless_sharer(entry, msg)
             else:
+                obs = self._obs
+                if obs is not None:
+                    obs.dir_defer(self.node, msg.line, msg.kind)
                 msg.retain()  # parked in the deferred queue past delivery
                 entry.deferred.append(msg)
             return
@@ -265,6 +275,9 @@ class DirectoryController:
             return
         entry.busy = True
         entry.transaction = {"type": "fetch", "requester": msg.src}
+        obs = self._obs
+        if obs is not None:
+            obs.dir_open(self.node, entry.line, "fetch")
         line = entry.line
 
         def on_fetched(data) -> None:
@@ -342,6 +355,9 @@ class DirectoryController:
             "pending": set(targets),
             "upgrade": is_upgrade,
         }
+        obs = self._obs
+        if obs is not None:
+            obs.dir_open(self.node, entry.line, "inv_collect")
         if entry.broadcast:
             self._bcast_invs()
         self._inv_sent(len(targets))
@@ -376,13 +392,18 @@ class DirectoryController:
             # a live miss waiting on this very request.
             self._send(mk.GRANT_X_ID, requester, entry.line)
             return
+        obs = self._obs
         if msg.kind_id == mk.GETS_ID:
             entry.busy = True
             entry.transaction = {"type": "fwd_gets", "requester": requester}
+            if obs is not None:
+                obs.dir_open(self.node, entry.line, "fwd_gets")
             self._send(mk.FWD_GETS_ID, owner, entry.line, {"requester": requester})
         else:
             entry.busy = True
             entry.transaction = {"type": "fwd_getx", "requester": requester}
+            if obs is not None:
+                obs.dir_open(self.node, entry.line, "fwd_getx")
             self._send(mk.FWD_GETX_ID, owner, entry.line, {"requester": requester})
 
     def _req_wireless(self, entry: DirectoryEntry, msg: Message) -> None:
@@ -407,6 +428,9 @@ class DirectoryController:
         entry.busy = True
         transaction = {"type": "w_join", "pending": {requester}, "settled": False}
         entry.transaction = transaction
+        obs = self._obs
+        if obs is not None:
+            obs.dir_open(self.node, entry.line, "w_join")
         if self.wireless is not None:
             self.wireless.jam(entry.line)
         # Jamming stops *new* wireless updates, but a frame already past its
@@ -460,6 +484,9 @@ class DirectoryController:
             "tone_done": False,
             "requester_acked": False,
         }
+        obs = self._obs
+        if obs is not None:
+            obs.dir_open(self.node, entry.line, "s_to_w")
         line = entry.line
         # Jam before broadcasting: the requester may receive its WirUpgr and
         # attempt a wireless write before the BrWirUpgr even wins the channel
@@ -541,6 +568,9 @@ class DirectoryController:
             "acks": 0,
             "ids": [],
         }
+        obs = self._obs
+        if obs is not None:
+            obs.dir_open(self.node, entry.line, "w_to_s")
         frame = WirelessFrame.acquire(mk.WIR_DWGR_ID, self.node, entry.line)
         transaction = entry.transaction
         if entry.sharer_count == 0:
@@ -666,6 +696,9 @@ class DirectoryController:
             self._send(mk.PUT_ACK_ID, msg.src, msg.line)
             return
         if entry.busy:
+            obs = self._obs
+            if obs is not None:
+                obs.dir_defer(self.node, msg.line, msg.kind)
             msg.retain()  # parked in the deferred queue past delivery
             entry.deferred.append(msg)
             return
@@ -783,6 +816,7 @@ class DirectoryController:
         """Make room in the LLC set by recalling/invalidating ``entry``."""
         self._llc_evictions()
         line = entry.line
+        obs = self._obs
         if entry.state == DIR_INVALID:
             self._finish_recall(entry)
             return
@@ -793,6 +827,8 @@ class DirectoryController:
             )
             entry.busy = True
             entry.transaction = {"type": "recall_s", "pending": set(targets)}
+            if obs is not None:
+                obs.dir_open(self.node, line, "recall_s")
             if not targets:
                 self._finish_recall(entry)
                 return
@@ -803,12 +839,16 @@ class DirectoryController:
         if entry.state == DIR_EXCLUSIVE:
             entry.busy = True
             entry.transaction = {"type": "recall_e"}
+            if obs is not None:
+                obs.dir_open(self.node, line, "recall_e")
             self._send(mk.INV_ID, entry.owner, line, {"needs_data": True})
             return
         # Wireless line: Table II W->I — broadcast WirInv, write back if dirty.
         self._w_evictions()
         entry.busy = True
         entry.transaction = {"type": "evict_w"}
+        if obs is not None:
+            obs.dir_open(self.node, line, "evict_w")
         if self.wireless is None:
             raise ProtocolError("evicting a W line without wireless hardware")
         frame = WirelessFrame.acquire(mk.WIR_INV_ID, self.node, line)
@@ -816,6 +856,11 @@ class DirectoryController:
 
     def _finish_recall(self, entry: DirectoryEntry) -> None:
         """The entry is globally invalid: write back and drop it."""
+        obs = self._obs
+        if obs is not None:
+            # Tolerates entries that were never busy (DIR_INVALID fast path):
+            # dir_close on a line without an open span is a no-op.
+            obs.dir_close(self.node, entry.line)
         if entry.dirty:
             self._memory_for(entry.line).writeback_line(entry.line, entry.data)
         removed = self.array.remove(entry.line)

@@ -167,6 +167,31 @@ class WirelessConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Observability (:mod:`repro.obs`) knobs — **off by default**.
+
+    Tracing is behaviour-neutral by construction (the hooks only read and
+    record; no RNG draws, no scheduled events), so golden digests are
+    byte-identical at any setting; these knobs only trade memory/overhead
+    against timeline detail.
+    """
+
+    #: Master switch: when True, :class:`~repro.system.Manycore` builds an
+    #: :class:`~repro.obs.hooks.Observability` facade and installs its hooks.
+    enabled: bool = False
+    #: Flight-recorder ring depth per node (last-N protocol events).
+    flight_recorder_depth: int = 256
+    #: Minimum cycles between counter-track samples (activity-driven: a
+    #: sample is taken by the next hook that fires past the interval, so no
+    #: events are ever scheduled on the simulator).
+    sample_interval: int = 4096
+
+    def validate(self) -> None:
+        _require(self.flight_recorder_depth >= 1, "recorder depth must be >= 1")
+        _require(self.sample_interval >= 1, "sample interval must be >= 1 cycle")
+
+
+@dataclass(frozen=True)
 class MemoryConfig:
     """Off-chip memory parameters."""
 
@@ -210,6 +235,9 @@ class SystemConfig:
     #: only observes (no RNG draws, no protocol messages), so enabling it
     #: never changes simulated behaviour — only when a violation is caught.
     check_interval: int = 0
+    #: Observability subsystem knobs (:mod:`repro.obs`); disabled by default
+    #: and behaviour-neutral when enabled (see :class:`ObsConfig`).
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     @property
     def mesh_width(self) -> int:
@@ -243,6 +271,7 @@ class SystemConfig:
         self.noc.validate()
         self.wireless.validate()
         self.memory.validate()
+        self.obs.validate()
         _require(
             self.l1.line_bytes == self.l2.line_bytes,
             "L1 and L2 must use the same line size",
@@ -278,4 +307,7 @@ class SystemConfig:
             # Absent in payloads recorded before the verification subsystem
             # existed; 0 (off) reproduces their behaviour exactly.
             check_interval=payload.get("check_interval", 0),
+            # Absent in payloads recorded before the observability subsystem
+            # existed; the default (disabled) reproduces their behaviour.
+            obs=ObsConfig(**payload["obs"]) if "obs" in payload else ObsConfig(),
         )

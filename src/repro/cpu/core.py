@@ -27,7 +27,7 @@ from repro.config.system import SystemConfig
 from repro.cpu.sync import PhaseBarrier
 from repro.cpu.trace import OP_BARRIER, OP_LOAD, OP_RMW, OP_STORE, OP_THINK, TraceOp
 from repro.engine.simulator import Simulator
-from repro.stats.collectors import LatencyStat, StatsRegistry
+from repro.stats.collectors import Histogram, LatencyStat, StatsRegistry
 
 
 class CoreResult:
@@ -41,6 +41,7 @@ class CoreResult:
         "sync_stall_cycles",
         "load_latency",
         "store_latency",
+        "latency_hist",
     )
 
     def __init__(self, node: int) -> None:
@@ -51,6 +52,9 @@ class CoreResult:
         self.sync_stall_cycles = 0
         self.load_latency = LatencyStat(f"core{node}.load_latency")
         self.store_latency = LatencyStat(f"core{node}.store_latency")
+        #: Combined load+store+RMW latency distribution (p50/p95/p99 come
+        #: from here; the LatencyStats above only keep min/mean/max).
+        self.latency_hist = Histogram(f"core{node}.memory_latency")
 
     @property
     def total_memory_latency(self) -> int:
@@ -98,6 +102,7 @@ class Core:
         self._schedule = sim.schedule
         self._load_record = self.result.load_latency.record
         self._store_record = self.result.store_latency.record
+        self._hist_record = self.result.latency_hist.record
 
     # --------------------------------------------------------------- control
 
@@ -221,7 +226,9 @@ class Core:
         def on_done(_value: int) -> None:
             completed[0] = True
             self._outstanding_loads -= 1
-            self._load_record(self.sim.now - issued)
+            latency = self.sim.now - issued
+            self._load_record(latency)
+            self._hist_record(latency)
             self._maybe_wake()
 
         self.cache.load(op.address, on_done)
@@ -244,7 +251,9 @@ class Core:
 
         def on_done() -> None:
             self._wb_occupancy -= 1
-            self._store_record(self.sim.now - issued)
+            latency = self.sim.now - issued
+            self._store_record(latency)
+            self._hist_record(latency)
             self._maybe_wake()
 
         self.cache.store(op.address, op.value, on_done)
@@ -265,7 +274,9 @@ class Core:
 
         def on_done(_old: int) -> None:
             completed[0] = True
-            self._store_record(self.sim.now - issued)
+            latency = self.sim.now - issued
+            self._store_record(latency)
+            self._hist_record(latency)
             self._maybe_wake()
 
         self.cache.rmw(op.address, on_done)

@@ -9,7 +9,7 @@ how the wireless channel latencies are expressed).
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.engine.errors import SimulationError
 from repro.engine.events import Event, EventQueue
@@ -31,6 +31,13 @@ class Simulator:
         self.rng = DeterministicRng(seed)
         self._events_executed = 0
         self._stopped = False
+        #: Callbacks invoked after :meth:`run` fully drains the queue (the
+        #: heap is empty — not on an ``until`` bound or a :meth:`stop`).
+        #: Hooks must not schedule new events; they are for end-of-run
+        #: bookkeeping (e.g. the observability orphan-span audit + final
+        #: counter sample). The list is empty by default and costs one
+        #: truthiness test per :meth:`run` return.
+        self.drain_hooks: List[Callable[[], None]] = []
 
     @property
     def events_executed(self) -> int:
@@ -142,6 +149,9 @@ class Simulator:
                         continue
                     event.callback()
                     self._events_executed += 1
+            if self.drain_hooks and not heap:
+                for hook in self.drain_hooks:
+                    hook()
             return self.now
         while not self._stopped:
             # Inline dead-head skip: one scan where peek_time()+pop() did two.
@@ -170,4 +180,7 @@ class Simulator:
                 event.callback()
                 self._events_executed += 1
                 executed_here += 1
+        if self.drain_hooks and not heap:
+            for hook in self.drain_hooks:
+                hook()
         return self.now

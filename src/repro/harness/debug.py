@@ -5,53 +5,37 @@ deadlock: unfinished cores with their wait reasons, outstanding MSHRs and
 eviction buffers, busy directory entries with their transaction context and
 deferred queues, the wireless channel's pending frames and jam set, and any
 in-flight ToneAck operations.
+
+The report is built from the observability layer's state synthesizer and
+rendered through :meth:`repro.obs.recorder.FlightRecorder.render_payload`,
+the same path ``repro trace summarize`` and ``repro verify replay`` use —
+one code path for "what was the machine doing". When the machine was
+running with tracing enabled (``config.obs.enabled``), the report also
+includes the flight recorder's recent-event tail: not just *where* the
+machine is stuck but *how* it got there.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List
 
+from repro.obs.recorder import FlightRecorder, state_payload
+
+#: Recent-history events appended to the report when a flight recorder is
+#: installed on the stuck machine.
+HISTORY_TAIL = 64
+
 
 def dump_stuck_state(machine, cores: Iterable = ()) -> List[str]:
     """Return (and print) a human-readable deadlock report."""
     lines: List[str] = [f"--- stuck state at cycle {machine.sim.now} ---"]
-    for core in cores:
-        if getattr(core, "finished", True):
-            continue
-        cache = machine.caches[core.node]
-        lines.append(
-            f"core {core.node}: wait={core._stall_bucket} "
-            f"outstanding_loads={core._outstanding_loads} "
-            f"write_buffer={core._wb_occupancy} "
-            f"mshrs={[hex(l) for l in cache.mshrs.outstanding_lines()]} "
-            f"evicting={[hex(l) for l in cache._evicting]} "
-            f"pending_wireless={[hex(l) for l in cache._pending_wireless]} "
-            f"rmw={[hex(l) for l in cache._rmw_watch]}"
+    lines.extend(FlightRecorder.render_payload(state_payload(machine, cores)))
+    obs = getattr(machine, "obs", None)
+    if obs is not None:
+        lines.append(f"--- last {HISTORY_TAIL} recorded events ---")
+        lines.extend(
+            FlightRecorder.render_payload(obs.recorder.to_payload(last=HISTORY_TAIL))
         )
-    for directory in machine.directories:
-        for entry in directory.array.entries():
-            if entry.busy:
-                deferred = [(m.kind, m.src) for m in entry.deferred]
-                lines.append(
-                    f"dir {directory.node}: {entry} "
-                    f"txn={entry.transaction} deferred={deferred}"
-                )
-    if machine.wireless is not None:
-        channel = machine.wireless
-        pending = [
-            (r.frame.kind, r.frame.src, hex(r.frame.line), r.ready_time, r.failures)
-            for r in channel._pending
-        ]
-        lines.append(
-            f"wnoc: pending={pending} busy_until={channel._busy_until} "
-            f"jammed={[hex(l) for l in channel._jammed_lines]}"
-        )
-    if machine.tone is not None:
-        ops = {
-            hex(key): sorted(op.remaining)
-            for key, op in machine.tone._operations.items()
-        }
-        lines.append(f"tone ops: {ops}")
     report = "\n".join(lines)
     print(report)
     return lines

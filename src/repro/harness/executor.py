@@ -50,7 +50,7 @@ from repro.harness.runner import DEFAULT_MEMOPS, SimulationResult, run_app
 #: shape (protocol semantics, stats counters, energy constants, trace
 #: synthesis, ...). Stale cache entries from earlier schemas are simply
 #: never looked up again; ``Executor.prune_cache`` garbage-collects them.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2  # v2: SimulationResult grew latency_histogram
 
 _ENV_WORKERS = "REPRO_WORKERS"
 _ENV_CACHE_DIR = "REPRO_CACHE_DIR"

@@ -19,6 +19,7 @@ from repro.cpu.core import Core
 from repro.cpu.sync import PhaseBarrier
 from repro.energy.models import EnergyBreakdown, EnergyModel
 from repro.engine.errors import SimulationError
+from repro.stats.collectors import Histogram
 from repro.system import Manycore
 from repro.workloads.generator import build_traces
 from repro.workloads.profiles import APP_PROFILES, AppProfile
@@ -52,6 +53,7 @@ class SimulationResult:
         collision_probability: float,
         energy: EnergyBreakdown,
         stats_counters: Dict[str, int],
+        latency_histogram: Optional[Dict] = None,
     ) -> None:
         self.app = app
         self.config = config
@@ -69,6 +71,9 @@ class SimulationResult:
         self.collision_probability = collision_probability
         self.energy = energy
         self.stats_counters = stats_counters
+        #: ``Histogram.to_dict()`` of the merged per-core memory-latency
+        #: distribution ({} on results loaded from pre-histogram caches).
+        self.latency_histogram = latency_histogram or {}
 
     # -------------------------------------------------------- serialization
 
@@ -98,6 +103,7 @@ class SimulationResult:
             "collision_probability": self.collision_probability,
             "energy": self.energy.as_dict(),
             "stats_counters": dict(self.stats_counters),
+            "latency_histogram": dict(self.latency_histogram),
         }
 
     @classmethod
@@ -122,6 +128,8 @@ class SimulationResult:
             collision_probability=payload["collision_probability"],
             energy=_EnergyBreakdown(**payload["energy"]),
             stats_counters=dict(payload["stats_counters"]),
+            # Tolerate caches written before the histogram existed.
+            latency_histogram=dict(payload.get("latency_histogram", {})),
         )
 
     # ------------------------------------------------------ derived metrics
@@ -169,6 +177,18 @@ class SimulationResult:
         total = self.cycles * self.config.num_cores
         return self.total_stall_cycles / total if total else 0.0
 
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 (plus mean/min/max) of per-op memory latency.
+
+        Empty for results deserialized from caches that predate the
+        histogram field.
+        """
+        if not self.latency_histogram:
+            return {}
+        from repro.stats.report import percentile_summary
+
+        return percentile_summary(Histogram.from_dict(self.latency_histogram))
+
 
 def _resolve_profile(app) -> AppProfile:
     if isinstance(app, AppProfile):
@@ -187,11 +207,20 @@ def run_app(
     memops_per_core: Optional[int] = None,
     trace_seed: int = 0,
     check: bool = True,
+    machine_sink: Optional[List] = None,
 ) -> SimulationResult:
-    """Run one application to completion on one machine."""
+    """Run one application to completion on one machine.
+
+    ``machine_sink``, if given, receives the :class:`Manycore` instance so
+    callers that need post-run access to live machine state (the trace CLI
+    exporting an observability capture) can retrieve it without changing
+    the return type.
+    """
     profile = _resolve_profile(app)
     memops = memops_per_core if memops_per_core is not None else DEFAULT_MEMOPS
     machine = Manycore(config)
+    if machine_sink is not None:
+        machine_sink.append(machine)
     barrier = PhaseBarrier(config.num_cores)
     traces = build_traces(profile, config.num_cores, memops, trace_seed)
 
@@ -232,6 +261,9 @@ def run_app(
         machine.wireless.collision_probability if machine.wireless else 0.0
     )
     energy = EnergyModel().compute(config, stats, cycles)
+    merged_hist = Histogram("memory_latency")
+    for core in cores:
+        merged_hist.merge(core.result.latency_hist)
 
     return SimulationResult(
         app=profile.name,
@@ -250,6 +282,7 @@ def run_app(
         collision_probability=collision_prob,
         energy=energy,
         stats_counters=stats.counters(),
+        latency_histogram=merged_hist.to_dict(),
     )
 
 

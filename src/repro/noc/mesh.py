@@ -72,6 +72,10 @@ class MeshNetwork:
         #: ``msg_delivered``). None — the default — costs one attribute test
         #: per send/delivery and nothing else.
         self.monitor = None
+        #: Observability hook (set by Observability.install(); None — the
+        #: default — costs one attribute test per send/delivery and nothing
+        #: else; see repro.obs.hooks).
+        self.obs = None
         self._messages = stats.counter("noc.messages")
         self._data_messages = stats.counter("noc.data_messages")
         self._total_hops = stats.counter("noc.total_hops")
@@ -131,6 +135,9 @@ class MeshNetwork:
         monitor = self.monitor
         if monitor is not None:
             monitor.msg_sent(message.line)
+        obs = self.obs
+        if obs is not None:
+            obs.noc_send(message)
         src = message.src
         dst = message.dst
         pair = (src, dst)
@@ -209,6 +216,9 @@ class MeshNetwork:
         monitor = self.monitor
         if monitor is not None:
             monitor.msg_delivered(message.line)
+        obs = self.obs
+        if obs is not None:
+            obs.noc_recv(message)
         handler = self._handlers.get(message.dst)
         if handler is None:
             raise KeyError(f"no handler registered for node {message.dst}")

@@ -1,0 +1,280 @@
+"""Chrome/Perfetto ``trace.json`` export and a minimal schema validator.
+
+The exporter turns one observability *capture* (see
+:meth:`repro.obs.hooks.Observability.capture`) into the Chrome Trace Event
+JSON format that https://ui.perfetto.dev and ``chrome://tracing`` load:
+
+* one process (pid 0, named after the run) with **one thread track per
+  node** plus a ``wireless`` track for machine-wide events;
+* every transaction/frame/tone span becomes an **async slice** (``ph:
+  "b"``/``"e"`` matched by ``cat`` + ``id``), its phases become async
+  instants (``ph: "n"``) on the same slice;
+* flight-recorder events become thread instants (``ph: "i"``);
+* sampled machine metrics (channel utilization, W-line population, MSHR
+  occupancy, pending wireless frames) become **counter tracks** (``ph:
+  "C"``).
+
+Cycle counts map 1:1 to microseconds of trace time (the paper's 1 GHz
+clock makes 1 cycle = 1 ns; scaling into the ``us`` display unit keeps the
+Perfetto minimap readable for million-cycle runs).
+
+:func:`validate_chrome_trace` is the CI ``trace-smoke`` check: every ``b``
+has a matching ``e`` with a non-negative duration, counter tracks have
+monotonically non-decreasing timestamps, and required keys are present.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+PID = 0
+
+#: ``tid`` used for machine-wide (channel / tone) tracks, placed after the
+#: per-node tids.
+def _wireless_tid(num_nodes: int) -> int:
+    return num_nodes
+
+
+def export_chrome_trace(capture: Dict) -> Dict:
+    """Build the Chrome Trace Event JSON document for one capture."""
+    meta = capture.get("meta", {})
+    num_nodes = int(meta.get("num_cores", 0))
+    wireless_tid = _wireless_tid(num_nodes)
+    process_name = (
+        f"repro {meta.get('protocol', '?')} x{num_nodes} "
+        f"({meta.get('app', 'run')})"
+    )
+    events: List[Dict] = [
+        {
+            "ph": "M",
+            "pid": PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    seen_tids = {wireless_tid}
+    events.append(
+        {
+            "ph": "M",
+            "pid": PID,
+            "tid": wireless_tid,
+            "name": "thread_name",
+            "args": {"name": "wireless"},
+        }
+    )
+    for node in range(num_nodes):
+        seen_tids.add(node)
+        events.append(
+            {
+                "ph": "M",
+                "pid": PID,
+                "tid": node,
+                "name": "thread_name",
+                "args": {"name": f"node{node:02d}"},
+            }
+        )
+
+    def tid_for(node: int) -> int:
+        return node if 0 <= node < num_nodes else wireless_tid
+
+    # ------------------------------------------------------------- spans
+    for span in capture.get("spans", []):
+        tid = tid_for(span["node"])
+        cat = span["cat"]
+        sid = str(span["sid"])
+        name = span["name"]
+        open_ts = span["open"]
+        close_ts = span["close"]
+        args = {
+            "line": f"0x{span['line']:x}" if span["line"] >= 0 else None,
+            "node": span["node"],
+            "status": span["status"],
+        }
+        if span.get("reason"):
+            args["reason"] = span["reason"]
+        events.append(
+            {
+                "ph": "b",
+                "cat": cat,
+                "id": sid,
+                "name": name,
+                "pid": PID,
+                "tid": tid,
+                "ts": open_ts,
+                "args": args,
+            }
+        )
+        for cycle, label in span.get("phases", []):
+            events.append(
+                {
+                    "ph": "n",
+                    "cat": cat,
+                    "id": sid,
+                    "name": label,
+                    "pid": PID,
+                    "tid": tid,
+                    "ts": cycle,
+                }
+            )
+        if close_ts is None:
+            # Orphan span (audit failure): still emit a matching end so
+            # the document stays loadable; the status arg flags it.
+            close_ts = max(open_ts, int(meta.get("cycles", open_ts)))
+            args["status"] = "unclosed-at-export"
+        events.append(
+            {
+                "ph": "e",
+                "cat": cat,
+                "id": sid,
+                "name": name,
+                "pid": PID,
+                "tid": tid,
+                "ts": close_ts,
+                "args": {"status": args["status"]},
+            }
+        )
+
+    # ---------------------------------------------------------- instants
+    for cycle, node, kind, line, detail in capture.get("events", {}).get(
+        "events", []
+    ):
+        args: Dict = {}
+        if line >= 0:
+            args["line"] = f"0x{line:x}"
+        if detail:
+            args["detail"] = detail
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": kind,
+                "pid": PID,
+                "tid": tid_for(node),
+                "ts": cycle,
+                "args": args,
+            }
+        )
+
+    # ---------------------------------------------------------- counters
+    for track in capture.get("counters", []):
+        name = track["name"]
+        for cycle, value in track["samples"]:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": name,
+                    "pid": PID,
+                    "tid": 0,
+                    "ts": cycle,
+                    "args": {"value": value},
+                }
+            )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "app": meta.get("app"),
+            "protocol": meta.get("protocol"),
+            "cycles": meta.get("cycles"),
+            "seed": meta.get("seed"),
+        },
+    }
+
+
+def write_chrome_trace(capture: Dict, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(export_chrome_trace(capture), sort_keys=True))
+    return path
+
+
+# ------------------------------------------------------------- validation
+
+
+def validate_chrome_trace(trace: Dict) -> List[str]:
+    """Minimal Chrome-trace schema check; returns a list of problems.
+
+    Enforced invariants (the CI ``trace-smoke`` gate):
+
+    * the document has a ``traceEvents`` list and every event has an
+      integer ``ts`` >= 0 (metadata ``M`` events excepted) plus ``ph``,
+      ``name``, ``pid`` keys;
+    * every async begin (``b``) has exactly one matching end (``e``) with
+      the same ``(cat, id)`` and ``e.ts >= b.ts``; no end without a begin;
+    * async instants (``n``) reference an open-or-closed ``(cat, id)``;
+    * per counter-track name, timestamps are monotonically non-decreasing.
+    """
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    begins: Dict[Tuple[str, str], int] = {}
+    ended: Dict[Tuple[str, str], int] = {}
+    counter_last: Dict[str, int] = {}
+    for index, event in enumerate(events):
+        ph = event.get("ph")
+        if ph is None or "name" not in event or "pid" not in event:
+            problems.append(f"event {index}: missing ph/name/pid")
+            continue
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(f"event {index} ({ph} {event.get('name')}): bad ts {ts!r}")
+            continue
+        if ph == "b":
+            key = (event.get("cat", ""), str(event.get("id")))
+            if key in begins:
+                problems.append(f"event {index}: duplicate open async id {key}")
+            begins[key] = ts
+        elif ph == "e":
+            key = (event.get("cat", ""), str(event.get("id")))
+            if key in begins:
+                if ts < begins[key]:
+                    problems.append(
+                        f"event {index}: async {key} ends at {ts} before "
+                        f"its begin at {begins[key]}"
+                    )
+                ended[key] = ts
+                del begins[key]
+            elif key in ended:
+                problems.append(f"event {index}: second end for async id {key}")
+            else:
+                problems.append(f"event {index}: end without begin for {key}")
+        elif ph == "n":
+            key = (event.get("cat", ""), str(event.get("id")))
+            if key not in begins and key not in ended:
+                problems.append(f"event {index}: instant for unknown async {key}")
+        elif ph == "C":
+            name = event["name"]
+            last = counter_last.get(name)
+            if last is not None and ts < last:
+                problems.append(
+                    f"event {index}: counter {name!r} ts {ts} < previous {last} "
+                    "(not monotonic)"
+                )
+            counter_last[name] = ts
+    for key, ts in begins.items():
+        problems.append(f"async {key} opened at {ts} never ended")
+    return problems
+
+
+def validate_chrome_trace_file(path) -> List[str]:
+    try:
+        trace = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable trace file: {exc}"]
+    return validate_chrome_trace(trace)
+
+
+def counter_track_names(trace: Dict) -> List[str]:
+    """Distinct counter-track names in a trace (acceptance: >= 3)."""
+    names = {
+        e["name"] for e in trace.get("traceEvents", []) if e.get("ph") == "C"
+    }
+    return sorted(names)

@@ -1,0 +1,126 @@
+"""Compact text timeline rendering for terminals.
+
+Where the Perfetto export is for interactive digging, this renderer
+answers "what happened, in order" straight in the terminal: span opens,
+phases, closes/cancellations, and flight-recorder instants are merged into
+one time-sorted listing with per-node attribution, plus a short summary
+block (span counts and durations per category, orphan report).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: (cycle, order, node, text) — ``order`` breaks cycle ties deterministically:
+#: recorder instants first, then span events in sid order.
+_Row = Tuple[int, Tuple[int, int, int], int, str]
+
+
+def _span_rows(capture: Dict) -> List[_Row]:
+    rows: List[_Row] = []
+    for span in capture.get("spans", []):
+        sid = span["sid"]
+        node = span["node"]
+        label = f"{span['cat']}:{span['name']}"
+        addr = f" line=0x{span['line']:x}" if span["line"] >= 0 else ""
+        rows.append(
+            (span["open"], (1, sid, 0), node, f"+ {label}#{sid}{addr}")
+        )
+        for index, (cycle, phase) in enumerate(span.get("phases", [])):
+            rows.append((cycle, (1, sid, 1 + index), node, f"| {label}#{sid} {phase}"))
+        close = span["close"]
+        if close is None:
+            continue
+        if span["status"] == "cancelled":
+            text = f"x {label}#{sid} cancelled: {span.get('reason') or '?'}"
+        else:
+            text = f"- {label}#{sid} done (+{close - span['open']}cy)"
+        rows.append((close, (1, sid, 1 << 20), node, text))
+    return rows
+
+
+def _event_rows(capture: Dict) -> List[_Row]:
+    rows: List[_Row] = []
+    for index, (cycle, node, kind, line, detail) in enumerate(
+        capture.get("events", {}).get("events", [])
+    ):
+        addr = f" line=0x{line:x}" if line >= 0 else ""
+        extra = f" {detail}" if detail else ""
+        rows.append((cycle, (0, index, 0), node, f". {kind}{addr}{extra}"))
+    return rows
+
+
+def render_text_timeline(
+    capture: Dict, limit: Optional[int] = None, spans_only: bool = False
+) -> str:
+    """Render ``capture`` as a text timeline; ``limit`` keeps the tail."""
+    rows = _span_rows(capture)
+    if not spans_only:
+        rows.extend(_event_rows(capture))
+    rows.sort(key=lambda r: (r[0], r[1]))
+    if limit is not None and len(rows) > limit:
+        skipped = len(rows) - limit
+        rows = rows[-limit:]
+        header = [f"... ({skipped} earlier timeline rows elided)"]
+    else:
+        header = []
+    lines = list(header)
+    for cycle, _order, node, text in rows:
+        where = "machine " if node < 0 else f"node {node:>3}"
+        lines.append(f"@{cycle:>8} {where} {text}")
+    return "\n".join(lines)
+
+
+def summarize_capture(capture: Dict) -> str:
+    """Aggregate statistics for ``repro trace summarize``."""
+    meta = capture.get("meta", {})
+    lines = [
+        f"capture: app={meta.get('app')} protocol={meta.get('protocol')} "
+        f"cores={meta.get('num_cores')} cycles={meta.get('cycles')} "
+        f"seed={meta.get('seed')}",
+    ]
+    per_cat: Dict[str, Dict[str, List[int]]] = {}
+    orphans = 0
+    cancelled = 0
+    for span in capture.get("spans", []):
+        bucket = per_cat.setdefault(span["cat"], {})
+        durations = bucket.setdefault(span["name"], [])
+        if span["close"] is not None:
+            durations.append(span["close"] - span["open"])
+        if span["status"] == "open":
+            orphans += 1
+        elif span["status"] == "cancelled":
+            cancelled += 1
+    total_spans = len(capture.get("spans", []))
+    lines.append(
+        f"spans: {total_spans} total, {cancelled} cancelled, {orphans} orphaned"
+    )
+    for cat in sorted(per_cat):
+        lines.append(f"  [{cat}]")
+        for name in sorted(per_cat[cat]):
+            durations = sorted(per_cat[cat][name])
+            if not durations:
+                lines.append(f"    {name:<16} n=0")
+                continue
+            count = len(durations)
+            mean = sum(durations) / count
+            p95 = durations[min(count - 1, (95 * count) // 100)]
+            lines.append(
+                f"    {name:<16} n={count:<6} "
+                f"min={durations[0]:<6} mean={mean:<8.1f} "
+                f"p95={p95:<6} max={durations[-1]}"
+            )
+    events = capture.get("events", {}).get("events", [])
+    lines.append(
+        f"flight recorder: {len(events)} retained events "
+        f"({capture.get('events', {}).get('dropped', 0)} aged out)"
+    )
+    for track in capture.get("counters", []):
+        samples = track["samples"]
+        if samples:
+            values = [v for _c, v in samples]
+            lines.append(
+                f"counter {track['name']:<24} samples={len(samples):<5} "
+                f"last={values[-1]} max={max(values)}"
+            )
+    return "\n".join(lines)

@@ -9,7 +9,56 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Union
 
+from repro.stats.collectors import Histogram
+
 Number = Union[int, float]
+
+#: Percentiles reported for latency distributions (median, tail, deep tail).
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile_summary(hist: Histogram) -> Dict[str, float]:
+    """p50/p95/p99 (plus mean/min/max) for a bucketed :class:`Histogram`.
+
+    Returns an empty dict when nothing was recorded so callers can skip the
+    row instead of printing zeros that look like measurements.
+    """
+    if hist.count == 0:
+        return {}
+    out: Dict[str, float] = {
+        "count": float(hist.count),
+        "mean": hist.mean,
+        "min": float(hist.min or 0),
+        "max": float(hist.max or 0),
+    }
+    for p in LATENCY_PERCENTILES:
+        out[f"p{p:g}"] = hist.percentile(p)
+    return out
+
+
+def format_percentile_table(
+    named_hists: Dict[str, Histogram], title: str = "latency percentiles"
+) -> str:
+    """Render one row per histogram: count, mean, p50/p95/p99, min, max."""
+    headers = ["name", "count", "mean", "p50", "p95", "p99", "min", "max"]
+    rows: List[Sequence[Union[str, Number]]] = []
+    for name, hist in named_hists.items():
+        summary = percentile_summary(hist)
+        if not summary:
+            continue
+        rows.append(
+            [
+                name,
+                int(summary["count"]),
+                summary["mean"],
+                summary["p50"],
+                summary["p95"],
+                summary["p99"],
+                int(summary["min"]),
+                int(summary["max"]),
+            ]
+        )
+    return format_table(headers, rows, title=title, precision=1)
 
 
 def normalize(values: Dict[str, Number], reference: Dict[str, Number]) -> Dict[str, float]:

@@ -22,6 +22,7 @@ from repro.mem.memory_controller import MainMemory, MemoryController
 from repro.noc.mesh import MeshNetwork
 from repro.noc.message import Message
 from repro.noc.topology import MeshTopology
+from repro.obs.hooks import Observability
 from repro.stats.collectors import StatsRegistry
 from repro.wireless.channel import WirelessDataChannel
 from repro.wireless.frames import WirelessFrame
@@ -133,6 +134,15 @@ class Manycore:
         if config.check_interval > 0:
             self.monitor = OnlineInvariantMonitor(self)
             self.monitor.install()
+
+        #: Observability (:mod:`repro.obs`): transaction spans, the flight
+        #: recorder, and sampled counter tracks. Reading-only hooks, so
+        #: enabling it never changes simulated behaviour (golden digests
+        #: are byte-identical either way).
+        self.obs: Optional[Observability] = None
+        if config.obs.enabled:
+            self.obs = Observability(self, config.obs)
+            self.obs.install()
 
     def _make_wired_router(self, node: int):
         cache = self.caches[node]

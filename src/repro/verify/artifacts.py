@@ -34,8 +34,13 @@ ARTIFACT_VERSION = 1
 
 
 def default_check(spec: TrialSpec) -> Optional[str]:
-    """Re-execute ``spec``; return the failure reason or None if it passes."""
-    result = execute_trial(spec)
+    """Re-execute ``spec``; return the failure reason or None if it passes.
+
+    Shrink candidates skip trace capture: the hooks are digest-neutral, so
+    pass/fail is identical either way, and ddmin re-executes up to
+    ``max_checks`` times.
+    """
+    result = execute_trial(spec, capture_trace=False)
     return None if result.ok else result.failure
 
 
@@ -52,6 +57,10 @@ class FailureArtifact:
     original_ops: int = 0
     shrunk_ops: int = 0
     notes: List[str] = field(default_factory=list)
+    #: Flight-recorder window of the *original* failing run
+    #: (``FlightRecorder.to_payload``-shaped; carries its own schema tag).
+    #: Optional: absent on artifacts written before tracing existed.
+    trace: Optional[Dict] = None
 
     # -------------------------------------------------------- serialization
 
@@ -67,6 +76,7 @@ class FailureArtifact:
             "original_ops": self.original_ops,
             "shrunk_ops": self.shrunk_ops,
             "notes": self.notes,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -81,6 +91,7 @@ class FailureArtifact:
             original_ops=payload.get("original_ops", 0),
             shrunk_ops=payload.get("shrunk_ops", 0),
             notes=payload.get("notes", []),
+            trace=payload.get("trace"),
         )
 
     def save(self, path) -> Path:

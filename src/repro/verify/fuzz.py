@@ -296,6 +296,11 @@ def generate_trial(
 # ---------------------------------------------------------------- execution
 
 
+#: Recorder events kept in a failing trial's trace window (the "what was
+#: the machine doing just before it failed" tail).
+TRACE_TAIL = 64
+
+
 @dataclass
 class TrialResult:
     """Outcome of one executed trial."""
@@ -305,12 +310,36 @@ class TrialResult:
     cycles: int
     events: int
     digest: str  #: sha256 over observations + finals (determinism witness).
+    #: Flight-recorder window (``FlightRecorder.to_payload``-shaped, schema-
+    #: versioned) captured when the trial failed; None on success or when
+    #: tracing was off. Excluded from the determinism digest.
+    trace: Optional[Dict] = None
 
 
-def execute_trial(spec: TrialSpec, mutation: Optional[str] = None) -> TrialResult:
-    """Build the machine, apply injectors (and mutation), run, judge."""
+def execute_trial(
+    spec: TrialSpec,
+    mutation: Optional[str] = None,
+    capture_trace: bool = True,
+) -> TrialResult:
+    """Build the machine, apply injectors (and mutation), run, judge.
+
+    ``capture_trace`` installs the observability layer on the trial machine
+    so a failing trial carries its flight-recorder window (the last
+    ``TRACE_TAIL`` protocol events) in :attr:`TrialResult.trace`. Tracing
+    is digest-neutral — the hooks read simulation state but never draw
+    RNG, schedule events, or touch stats — so trial digests and campaign
+    digests are identical with it on or off.
+    """
     config = SystemConfig.from_dict(spec.config)
     machine = Manycore(config)
+    obs = None
+    if capture_trace:
+        from repro.config.system import ObsConfig
+        from repro.obs.hooks import Observability
+
+        obs = Observability(machine, ObsConfig(enabled=True))
+        obs.install()
+        machine.obs = obs
     mutation_name = mutation or spec.mutation
     if mutation_name:
         from repro.verify.mutations import apply_mutation
@@ -352,6 +381,11 @@ def execute_trial(spec: TrialSpec, mutation: Optional[str] = None) -> TrialResul
             cycles=machine.sim.now,
             events=machine.sim.events_executed,
             digest="",
+            trace=(
+                obs.recorder.to_payload(last=TRACE_TAIL)
+                if obs is not None
+                else None
+            ),
         )
 
     try:

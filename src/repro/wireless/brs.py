@@ -13,11 +13,24 @@ from repro.engine.rng import DeterministicRng
 class BackoffPolicy:
     """Per-node deterministic exponential backoff state."""
 
-    __slots__ = ("base", "max_exponent", "_rng")
+    __slots__ = ("base", "max_exponent", "node", "obs", "_rng")
 
-    def __init__(self, base: int, max_exponent: int, rng: DeterministicRng) -> None:
+    def __init__(
+        self,
+        base: int,
+        max_exponent: int,
+        rng: DeterministicRng,
+        node: int = -1,
+    ) -> None:
         self.base = base
         self.max_exponent = max_exponent
+        #: The node whose transceiver this policy models (diagnostics only).
+        self.node = node
+        #: Observability hook (set by Observability.install(); None — the
+        #: default — costs one attribute test per drawn delay and nothing
+        #: else; see repro.obs.hooks). The hook observes the drawn delay
+        #: *after* the RNG draw, so tracing never perturbs the stream.
+        self.obs = None
         self._rng = rng
 
     def delay_for_attempt(self, failures: int) -> int:
@@ -32,4 +45,8 @@ class BackoffPolicy:
         """
         exponent = min(max(failures, 1), max(self.max_exponent, 1))
         window = self.base << (exponent - 1)
-        return 1 + self._rng.randint(0, window - 1)
+        delay = 1 + self._rng.randint(0, window - 1)
+        obs = self.obs
+        if obs is not None:
+            obs.brs_backoff(self.node, failures, delay)
+        return delay

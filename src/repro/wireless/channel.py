@@ -119,11 +119,16 @@ class WirelessDataChannel:
         self._active_request: Optional[TransmitRequest] = None
         self._busy_until = 0
         self._arbitration_scheduled_at: Optional[int] = None
+        #: Observability hook (set by Observability.install(); None — the
+        #: default — costs one attribute test per channel operation and
+        #: nothing else; see repro.obs.hooks).
+        self.obs = None
         self._backoff = [
             BackoffPolicy(
                 config.backoff_base_cycles,
                 config.backoff_max_exponent,
                 rng.split(f"backoff-{node}"),
+                node=node,
             )
             for node in range(num_nodes)
         ]
@@ -154,6 +159,9 @@ class WirelessDataChannel:
     ) -> TransmitRequest:
         """Queue ``frame`` for broadcast; returns a cancellable handle."""
         request = TransmitRequest(frame, on_commit, on_delivered, self.sim.now)
+        obs = self.obs
+        if obs is not None:
+            obs.frame_queued(request)
         self._pending.append(request)
         self._schedule_arbitration(self.sim.now)
         return request
@@ -225,7 +233,19 @@ class WirelessDataChannel:
         if now < self._busy_until:
             self._schedule_arbitration(self._busy_until)
             return
-        self._pending = [r for r in self._pending if not r.cancelled]
+        obs = self.obs
+        if obs is None:
+            self._pending = [r for r in self._pending if not r.cancelled]
+        else:
+            # Same filter, but every withdrawn request resolves its frame
+            # span (orphan-span audit: cancelled frames must not dangle).
+            kept: List[TransmitRequest] = []
+            for request in self._pending:
+                if request.cancelled:
+                    obs.frame_cancelled(request, "withdrawn")
+                else:
+                    kept.append(request)
+            self._pending = kept
         if not self._pending:
             return
         contenders = [r for r in self._pending if r.ready_time <= now]
@@ -244,6 +264,8 @@ class WirelessDataChannel:
             self._busy_until = now + header
             self._busy_cycles.add(header)
             for request in contenders:
+                if obs is not None:
+                    obs.frame_phase(request, "collision")
                 self._back_off(request)
             self._schedule_arbitration(self._busy_until)
             return
@@ -255,6 +277,8 @@ class WirelessDataChannel:
             self._jams.add()
             self._busy_until = now + header
             self._busy_cycles.add(header)
+            if obs is not None:
+                obs.frame_phase(request, "jammed")
             self._back_off(request)
             self._schedule_arbitration(self._busy_until)
             return
@@ -276,17 +300,25 @@ class WirelessDataChannel:
         request.failures += 1
         policy = self._backoff[request.frame.src % self.num_nodes]
         delay = policy.delay_for_attempt(request.failures)
+        obs = self.obs
+        if obs is not None:
+            obs.frame_phase(request, "backoff")
         header = self.config.preamble_cycles + self.config.collision_detect_cycles
         request.ready_time = self.sim.now + header + delay
 
     def _commit(self, request: TransmitRequest) -> None:
         """Serialization point: the frame is now guaranteed to transmit."""
+        obs = self.obs
         if request.cancelled:
             # Cancelled between arbitration and commit: the transmission is
             # squashed; the medium reservation stands (the slot is wasted).
             self._cancellations.add()
+            if obs is not None:
+                obs.frame_cancelled(request, "cancelled-before-commit")
             return
         request.committed = True
+        if obs is not None:
+            obs.frame_phase(request, "commit")
         if request.on_commit is not None:
             request.on_commit()
 
@@ -301,6 +333,9 @@ class WirelessDataChannel:
             handler(request.frame)
         if request.on_delivered is not None:
             request.on_delivered()
+        obs = self.obs
+        if obs is not None:
+            obs.frame_delivered(request)
         # The broadcast fan-out is complete and no receiver keeps frames
         # beyond its handler; recycle pooled frames through the freelist.
         # (Cancelled frames never reach here and simply fall to the GC.)

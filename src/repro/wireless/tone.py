@@ -56,6 +56,10 @@ class ToneChannel:
         self.sim = sim
         self.tone_cycles = tone_cycles
         self._operations: Dict[int, ToneAckOperation] = {}
+        #: Observability hook (set by Observability.install(); None — the
+        #: default — costs one attribute test per operation and nothing
+        #: else; see repro.obs.hooks).
+        self.obs = None
         self._started = stats.counter("tone.operations")
         self._drops = stats.counter("tone.drops")
 
@@ -72,6 +76,9 @@ class ToneChannel:
         if key in self._operations:
             raise KeyError(f"ToneAck already in flight for key 0x{key:x}")
         self._started.add()
+        obs = self.obs
+        if obs is not None:
+            obs.tone_open(key, len(participants))
         operation = ToneAckOperation(key, participants, on_silent, self)
         self._operations[key] = operation
         if operation.silent:
@@ -84,6 +91,9 @@ class ToneChannel:
         if operation is None:
             return  # late drop after completion: harmless, tone already off
         self._drops.add()
+        obs = self.obs
+        if obs is not None:
+            obs.tone_drop(key, node)
         operation.drop(node)
 
     def in_flight(self, key: int) -> bool:
@@ -93,4 +103,7 @@ class ToneChannel:
         if self._operations.get(operation.key) is not operation:
             return
         del self._operations[operation.key]
+        obs = self.obs
+        if obs is not None:
+            obs.tone_close(operation.key)
         self.sim.schedule(self.tone_cycles, operation.on_silent)

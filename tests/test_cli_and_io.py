@@ -118,3 +118,50 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Ordered by: cumulative time" in out
         assert "wrote" not in out
+
+
+class TestTraceCli:
+    def test_trace_run_export_summarize(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        capture_path = tmp_path / "capture.json"
+        assert main(
+            [
+                "trace", "run", "--app", "radiosity", "--cores", "8",
+                "--memops", "200", "--out", str(trace_path),
+                "--capture", str(capture_path), "--timeline", "--limit", "10",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+        assert "counter tracks:" in out
+        assert trace_path.exists() and capture_path.exists()
+
+        assert main(["trace", "summarize", str(capture_path)]) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out
+        assert "flight recorder:" in out
+
+        text_path = tmp_path / "timeline.txt"
+        assert main(
+            [
+                "trace", "export", str(capture_path), "--format", "text",
+                "--out", str(text_path), "--limit", "20",
+            ]
+        ) == 0
+        assert text_path.exists()
+
+        chrome_path = tmp_path / "chrome.json"
+        assert main(
+            [
+                "trace", "export", str(capture_path), "--format", "chrome",
+                "--out", str(chrome_path),
+            ]
+        ) == 0
+        from repro.obs import validate_chrome_trace_file
+
+        assert validate_chrome_trace_file(chrome_path) == []
+
+    def test_run_command_prints_latency_percentiles(self, capsys):
+        assert main(["run", "volrend", "--cores", "8", "--memops", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "latency p50/95/99" in out

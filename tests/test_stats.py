@@ -2,14 +2,22 @@
 
 from hypothesis import given, strategies as st
 
+import pytest
+
 from repro.stats.collectors import (
     BinnedHistogram,
     Counter,
     ExactHistogram,
+    Histogram,
     LatencyStat,
     StatsRegistry,
 )
-from repro.stats.report import format_table, normalize
+from repro.stats.report import (
+    format_percentile_table,
+    format_table,
+    normalize,
+    percentile_summary,
+)
 
 
 class TestCounter:
@@ -20,6 +28,14 @@ class TestCounter:
         assert counter.value == 5
         counter.reset()
         assert counter.value == 0
+
+    def test_merge(self):
+        a, b = Counter("a"), Counter("b")
+        a.add(3)
+        b.add(4)
+        a.merge(b)
+        assert a.value == 7
+        assert b.value == 4  # merge never mutates the source
 
 
 class TestLatencyStat:
@@ -87,6 +103,109 @@ class TestBinnedHistogram:
             hist.record(value)
         assert hist.total == len(values)
 
+    def test_merge(self):
+        a = BinnedHistogram("a", self.BINS)
+        b = BinnedHistogram("b", self.BINS)
+        a.record(3)
+        b.record(7)
+        b.record(60)
+        a.merge(b)
+        assert a.counts == [1, 1, 0, 0, 1]
+        assert a.total == 3
+
+    def test_merge_rejects_mismatched_bins(self):
+        a = BinnedHistogram("a", self.BINS)
+        b = BinnedHistogram("b", ((0, 1), (2, None)))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestHistogram:
+    def test_empty(self):
+        hist = Histogram("h")
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0.0
+
+    def test_single_value(self):
+        hist = Histogram("h")
+        hist.record(37)
+        for p in (0, 50, 99, 100):
+            assert hist.percentile(p) == 37.0
+
+    def test_percentiles_clamped_to_observed_range(self):
+        hist = Histogram("h")
+        for value in (10, 11, 12, 13, 200):
+            hist.record(value)
+        assert hist.percentile(0) == 10.0
+        assert hist.percentile(100) == 200.0
+        assert 10.0 <= hist.percentile(50) <= 200.0
+
+    def test_mean_exact(self):
+        hist = Histogram("h")
+        for value in (4, 8, 12):
+            hist.record(value)
+        assert hist.mean == 8.0
+        assert hist.min == 4
+        assert hist.max == 12
+
+    def test_merge(self):
+        a, b = Histogram("a"), Histogram("b")
+        a.record(5)
+        b.record(500)
+        a.merge(b)
+        assert a.count == 2
+        assert a.min == 5
+        assert a.max == 500
+        assert a.total == 505
+
+    def test_merge_empty_is_noop(self):
+        a = Histogram("a")
+        a.record(9)
+        a.merge(Histogram("b"))
+        assert a.count == 1
+        assert a.percentile(50) == 9.0
+
+    def test_roundtrip(self):
+        hist = Histogram("h")
+        for value in (1, 2, 3, 1000, 1_000_000):
+            hist.record(value)
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.count == hist.count
+        assert clone.total == hist.total
+        assert clone.min == hist.min
+        assert clone.max == hist.max
+        for p in (50, 95, 99):
+            assert clone.percentile(p) == hist.percentile(p)
+
+    @given(st.lists(st.integers(0, 2**40), min_size=1, max_size=200))
+    def test_property_percentile_bounds(self, values):
+        hist = Histogram("h")
+        for value in values:
+            hist.record(value)
+        assert hist.count == len(values)
+        assert hist.total == sum(values)
+        previous = hist.percentile(0)
+        for p in (25, 50, 75, 90, 95, 99, 100):
+            current = hist.percentile(p)
+            # monotone and within the observed range
+            assert previous <= current <= max(values)
+            assert current >= min(values)
+            previous = current
+
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=100))
+    def test_property_bucket_error_bound(self, values):
+        """A percentile estimate lands within its power-of-two bucket, so
+        the relative error against the exact order statistic is < 2x."""
+        hist = Histogram("h")
+        for value in values:
+            hist.record(value)
+        exact = sorted(values)[(len(values) - 1) // 2]
+        estimate = hist.percentile(50)
+        if exact > 0:
+            assert estimate <= 2 * exact + 1
+            assert estimate >= exact / 2 - 1
+
 
 class TestExactHistogram:
     def test_mean(self):
@@ -101,6 +220,15 @@ class TestExactHistogram:
         for value in (5, 1, 9, 1):
             hist.record(value)
         assert list(hist.items()) == [(1, 2), (5, 1), (9, 1)]
+
+    def test_merge(self):
+        a, b = ExactHistogram("a"), ExactHistogram("b")
+        a.record(1, weight=2)
+        b.record(1)
+        b.record(4)
+        a.merge(b)
+        assert list(a.items()) == [(1, 3), (4, 1)]
+        assert a.total == 4
 
 
 class TestStatsRegistry:
@@ -138,3 +266,28 @@ class TestReport:
         text = format_table(["a"], [[1], [2.5], ["x"]])
         assert "2.500" in text
         assert "x" in text
+
+    def test_percentile_summary(self):
+        hist = Histogram("lat")
+        for value in range(1, 101):
+            hist.record(value)
+        summary = percentile_summary(hist)
+        assert summary["count"] == 100
+        assert summary["min"] == 1
+        assert summary["max"] == 100
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert set(summary) == {
+            "count", "mean", "min", "max", "p50", "p95", "p99",
+        }
+
+    def test_percentile_summary_empty(self):
+        assert percentile_summary(Histogram("lat")) == {}
+
+    def test_format_percentile_table(self):
+        hist = Histogram("lat")
+        for value in (10, 20, 40):
+            hist.record(value)
+        text = format_percentile_table({"loads": hist}, title="latency")
+        assert "latency" in text
+        assert "loads" in text
+        assert "p99" in text
