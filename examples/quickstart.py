@@ -15,7 +15,7 @@ seconds). Any application from ``repro.ALL_APPS`` works.
 
 import sys
 
-from repro import ALL_APPS, run_pair
+from repro import ALL_APPS, api
 
 
 def main() -> None:
@@ -26,9 +26,10 @@ def main() -> None:
         raise SystemExit(f"unknown app {app!r}; choose from: {', '.join(ALL_APPS)}")
 
     print(f"Running {app} on {cores} cores ({memops} refs/core) ...")
-    baseline, widir = run_pair(app, num_cores=cores, memops_per_core=memops)
+    diff = api.compare(app, cores=cores, memops=memops)
+    baseline, widir = diff.baseline, diff.widir
 
-    speedup = baseline.cycles / widir.cycles
+    speedup = diff.speedup
     print(f"\n=== {app} @ {cores} cores ===")
     print(f"  Baseline execution time : {baseline.cycles:>10,} cycles")
     print(f"  WiDir execution time    : {widir.cycles:>10,} cycles")

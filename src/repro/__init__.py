@@ -8,15 +8,22 @@ ToneAck primitives), a wired 2D-mesh NoC, a BRS-MAC wireless NoC, synthetic
 SPLASH-3/PARSEC workload models, energy accounting, and a harness that
 regenerates every table and figure of the paper's evaluation.
 
-Quickstart::
+Quickstart (the stable API lives in :mod:`repro.api`; see docs/API.md)::
 
-    from repro import run_pair
-    base, widir = run_pair("radiosity", num_cores=16, memops_per_core=500)
-    print(widir.cycles / base.cycles)   # < 1.0: WiDir is faster
+    from repro import api
+
+    diff = api.compare("radiosity", cores=16, memops=500)
+    print(diff.speedup)                 # > 1.0: WiDir is faster
 
 See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the system
 inventory and the paper-to-repo substitution notes.
+
+Deprecated (one release grace, still functional): the top-level
+``repro.run_app`` / ``repro.run_pair`` shims — use
+:func:`repro.api.simulate` / :func:`repro.api.compare` instead.
 """
+
+import warnings as _warnings
 
 from repro.config import (
     SystemConfig,
@@ -24,11 +31,11 @@ from repro.config import (
     paper_config,
     widir_config,
 )
-from repro.harness.runner import SimulationResult, run_app, run_pair
+from repro.harness.runner import SimulationResult
 from repro.system import Manycore
 from repro.workloads import ALL_APPS, APP_PROFILES, AppProfile, build_traces
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_APPS",
@@ -37,6 +44,7 @@ __all__ = [
     "Manycore",
     "SimulationResult",
     "SystemConfig",
+    "api",
     "baseline_config",
     "build_traces",
     "paper_config",
@@ -45,3 +53,40 @@ __all__ = [
     "widir_config",
     "__version__",
 ]
+
+#: name -> (replacement hint, implementation module, attribute).
+_DEPRECATED = {
+    "run_app": ("repro.api.simulate", "repro.harness.runner", "run_app"),
+    "run_pair": ("repro.api.compare", "repro.harness.runner", "run_pair"),
+}
+
+
+def __getattr__(name):
+    """Lazy submodule access plus deprecation shims (PEP 562).
+
+    ``repro.api`` is resolved on first touch so ``from repro import api``
+    works without eagerly importing the facade everywhere. The legacy
+    top-level ``run_app`` / ``run_pair`` keep working for one release but
+    warn: the stable spellings are ``repro.api.simulate`` /
+    ``repro.api.compare``.
+    """
+    if name == "api":
+        import repro.api as api_module
+
+        return api_module
+    if name in _DEPRECATED:
+        replacement, module_name, attribute = _DEPRECATED[name]
+        _warnings.warn(
+            f"repro.{name} is deprecated and will be removed in the next "
+            f"release; use {replacement} (see docs/API.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

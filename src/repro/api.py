@@ -1,0 +1,459 @@
+"""``repro.api`` — the stable, supported public API.
+
+Four PRs of organic growth scattered entry points across
+``repro.harness.runner``, ``repro.harness.executor``, ``repro.verify`` and
+the CLI. This module is the one import users should reach for::
+
+    from repro import api
+
+    result = api.simulate("radiosity", cores=16)
+    diff   = api.compare("radiosity", cores=16)
+    grid   = api.sweep("protocols", apps=("radiosity", "fmm"), cores=16)
+    report = api.campaign("nightly", apps=("radiosity",), out="campaigns/n1")
+    checks = api.verify(campaign="smoke")
+    traced = api.trace("radiosity", cores=8)
+
+Stability contract (see docs/API.md):
+
+* every name in ``__all__`` keeps its signature and result type across
+  minor releases; additions are keyword-only with defaults;
+* replaced entry points keep working for one release behind
+  ``DeprecationWarning`` shims (e.g. the top-level ``repro.run_app`` /
+  ``repro.run_pair``);
+* importing this module stays cheap: nothing beyond what
+  ``repro.harness`` already loads — verification, observability export,
+  and campaign machinery are imported lazily inside the functions that
+  need them.
+
+Every function returns a *typed* result object (never a bare tuple or
+dict): :class:`~repro.harness.runner.SimulationResult`,
+:class:`ComparisonResult`, :class:`SweepResult`,
+:class:`~repro.harness.campaign.CampaignReport`, :class:`VerifyReport`,
+or :class:`TraceResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config.presets import baseline_config, widir_config
+from repro.config.system import SystemConfig
+from repro.harness.executor import Executor
+from repro.harness.runner import SimulationResult
+
+__all__ = [
+    "ComparisonResult",
+    "SweepResult",
+    "TraceResult",
+    "VerifyReport",
+    "campaign",
+    "compare",
+    "simulate",
+    "sweep",
+    "trace",
+    "verify",
+]
+
+_PROTOCOLS = ("baseline", "widir")
+_SWEEP_KINDS = ("protocols", "cores", "thresholds")
+
+
+def _executor(workers: Optional[int], cache: bool) -> Executor:
+    return Executor(workers=workers, use_cache=None if cache else False)
+
+
+def _config_for(
+    protocol: str,
+    cores: int,
+    seed: int,
+    max_wired_sharers: int,
+) -> SystemConfig:
+    if protocol not in _PROTOCOLS:
+        raise ValueError(
+            f"unknown protocol {protocol!r}; expected one of {_PROTOCOLS}"
+        )
+    if protocol == "widir":
+        return widir_config(
+            num_cores=cores, max_wired_sharers=max_wired_sharers, seed=seed
+        )
+    return baseline_config(num_cores=cores, seed=seed)
+
+
+# ------------------------------------------------------------ result types
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Baseline vs WiDir on identical traces (:func:`compare`)."""
+
+    app: str
+    baseline: SimulationResult
+    widir: SimulationResult
+
+    @property
+    def speedup(self) -> float:
+        """Baseline cycles / WiDir cycles (> 1.0: WiDir is faster)."""
+        return self.baseline.cycles / max(1, self.widir.cycles)
+
+    @property
+    def energy_ratio(self) -> float:
+        """WiDir energy / Baseline energy."""
+        return self.widir.energy.total / max(1e-12, self.baseline.energy.total)
+
+    @property
+    def mpki_ratio(self) -> float:
+        return self.widir.mpki / self.baseline.mpki if self.baseline.mpki else 1.0
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A labelled grid of results (:func:`sweep`).
+
+    ``missing`` is non-empty only when sweeping against a degraded
+    campaign's results (see :func:`campaign`): the sweep then renders from
+    what completed instead of aborting.
+    """
+
+    kind: str
+    results: Dict[str, SimulationResult]
+    missing: Tuple[str, ...] = ()
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.missing)
+
+    def __getitem__(self, label: str) -> SimulationResult:
+        return self.results[label]
+
+    def __iter__(self):
+        return iter(self.results.items())
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def speedups(self) -> Dict[str, float]:
+        """app -> WiDir speedup, for sweeps that ran both protocols."""
+        from repro.harness.sweeps import speedup_table
+
+        return speedup_table(self.results)
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Protocol verification outcome (:func:`verify`)."""
+
+    campaign: str
+    seed: int
+    litmus_violations: Tuple[str, ...]
+    fuzz_failures: Tuple[str, ...]
+    digest: str
+    artifacts: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.litmus_violations and not self.fuzz_failures
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """A simulation plus its observability capture (:func:`trace`)."""
+
+    result: SimulationResult
+    capture: Dict
+
+    def write_chrome_trace(self, path: Union[str, Path]) -> Path:
+        """Export the capture as Chrome/Perfetto ``trace.json``."""
+        from repro.obs import write_chrome_trace
+
+        path = Path(path)
+        write_chrome_trace(self.capture, path)
+        return path
+
+    def timeline(self, limit: int = 40) -> str:
+        from repro.obs import render_text_timeline
+
+        return render_text_timeline(self.capture, limit=limit)
+
+
+# -------------------------------------------------------------- functions
+
+
+def simulate(
+    app: str,
+    *,
+    protocol: str = "widir",
+    cores: int = 16,
+    memops: Optional[int] = None,
+    seed: int = 42,
+    trace_seed: int = 0,
+    max_wired_sharers: int = 3,
+    config: Optional[SystemConfig] = None,
+    workers: Optional[int] = None,
+    cache: bool = True,
+) -> SimulationResult:
+    """Run one application on one machine; the stable ``run_app``.
+
+    Executes through the deduplicating/memoizing
+    :class:`~repro.harness.executor.Executor`, so repeated calls with
+    identical arguments are cache hits. Pass ``config=`` to override the
+    preset entirely (``protocol``/``cores``/``seed`` are then ignored).
+    """
+    resolved = (
+        config
+        if config is not None
+        else _config_for(protocol, cores, seed, max_wired_sharers)
+    )
+    return _executor(workers, cache).run(app, resolved, memops, trace_seed)
+
+
+def compare(
+    app: str,
+    *,
+    cores: int = 16,
+    memops: Optional[int] = None,
+    seed: int = 42,
+    trace_seed: int = 0,
+    max_wired_sharers: int = 3,
+    workers: Optional[int] = None,
+    cache: bool = True,
+) -> ComparisonResult:
+    """Baseline vs WiDir on the same traces; the stable ``run_pair``."""
+    base, widir = _executor(workers, cache).run_pair(
+        app,
+        num_cores=cores,
+        memops_per_core=memops,
+        trace_seed=trace_seed,
+        max_wired_sharers=max_wired_sharers,
+        seed=seed,
+    )
+    return ComparisonResult(app=app, baseline=base, widir=widir)
+
+
+def sweep(
+    kind: str = "protocols",
+    *,
+    apps: Sequence[str] = (),
+    app: Optional[str] = None,
+    cores: Union[int, Sequence[int]] = 16,
+    thresholds: Sequence[int] = (2, 3, 4, 5),
+    memops: Optional[int] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+    cache: bool = True,
+    executor: Optional[Executor] = None,
+) -> SweepResult:
+    """Run a labelled grid: ``"protocols"``, ``"cores"``, or ``"thresholds"``.
+
+    * ``protocols`` — every app on Baseline and WiDir at ``cores``;
+    * ``cores`` — one ``app`` across ``cores`` (a sequence), both protocols;
+    * ``thresholds`` — one ``app`` across MaxWiredSharers ``thresholds``.
+
+    Pass ``executor=`` to render from an existing campaign
+    (``Campaign.result_source()``); missing runs then degrade into
+    ``SweepResult.missing`` instead of raising.
+    """
+    from repro.harness import sweeps as _sweeps
+
+    exe = executor if executor is not None else _executor(workers, cache)
+    if kind == "protocols":
+        if not apps:
+            raise ValueError("sweep('protocols') needs apps=(...)")
+        core_count = cores if isinstance(cores, int) else tuple(cores)[0]
+        expected = [
+            _sweeps.label_for(a, cfg)
+            for a in apps
+            for cfg in (
+                baseline_config(num_cores=core_count, seed=seed),
+                widir_config(num_cores=core_count, seed=seed),
+            )
+        ]
+        results = _sweeps.sweep_protocols(
+            apps, num_cores=core_count, memops=memops, seed=seed, executor=exe
+        )
+    elif kind == "cores":
+        target = app if app is not None else (apps[0] if apps else None)
+        if target is None:
+            raise ValueError("sweep('cores') needs app=...")
+        counts = (cores,) if isinstance(cores, int) else tuple(cores)
+        expected = [
+            _sweeps.label_for(target, cfg)
+            for c in counts
+            for cfg in (
+                baseline_config(num_cores=c, seed=seed),
+                widir_config(num_cores=c, seed=seed),
+            )
+        ]
+        results = _sweeps.sweep_core_counts(
+            target, counts, memops=memops, seed=seed, executor=exe
+        )
+    elif kind == "thresholds":
+        target = app if app is not None else (apps[0] if apps else None)
+        if target is None:
+            raise ValueError("sweep('thresholds') needs app=...")
+        core_count = cores if isinstance(cores, int) else tuple(cores)[0]
+        expected = [
+            _sweeps.label_for(
+                target,
+                widir_config(
+                    num_cores=core_count, max_wired_sharers=t, seed=seed
+                ),
+            )
+            for t in thresholds
+        ]
+        results = _sweeps.sweep_thresholds(
+            target,
+            thresholds,
+            num_cores=core_count,
+            memops=memops,
+            seed=seed,
+            executor=exe,
+        )
+    else:
+        raise ValueError(
+            f"unknown sweep kind {kind!r}; expected one of {_SWEEP_KINDS}"
+        )
+    missing = tuple(label for label in expected if label not in results)
+    return SweepResult(kind=kind, results=results, missing=missing)
+
+
+def campaign(
+    name: str,
+    *,
+    apps: Sequence[str],
+    out: Union[str, Path],
+    kind: str = "protocols",
+    cores: Union[int, Sequence[int]] = 16,
+    thresholds: Sequence[int] = (2, 3, 4, 5),
+    memops: Optional[int] = None,
+    seed: int = 42,
+    trace_seed: int = 0,
+    workers: Optional[int] = None,
+    cache: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 3,
+    backoff_seed: int = 0,
+    resume: bool = True,
+):
+    """Run (or resume) a fault-tolerant campaign; returns a
+    :class:`~repro.harness.campaign.CampaignReport`.
+
+    The campaign journals completed runs to a crash-safe checkpoint under
+    ``out``; rerunning after any interruption resumes exactly where it
+    died, and the aggregate ``results.json``/``digest.txt`` are
+    byte-identical to an uninterrupted execution. Failed runs are retried
+    ``retries`` times with seeded exponential backoff, then surfaced in
+    the provenance manifest while the rest of the sweep completes.
+    """
+    from repro.harness.campaign import CampaignSpec, run_campaign
+    from repro.harness.supervisor import RetryPolicy, WorkerSupervisor
+
+    spec = CampaignSpec(
+        name=name,
+        kind="protocols" if kind == "protocols" else "thresholds",
+        apps=tuple(apps),
+        cores=(cores,) if isinstance(cores, int) else tuple(cores),
+        memops=memops,
+        seed=seed,
+        thresholds=tuple(thresholds),
+        trace_seed=trace_seed,
+    )
+    supervisor = WorkerSupervisor(
+        workers=workers,
+        timeout=timeout,
+        retry=RetryPolicy(max_attempts=retries, seed=backoff_seed),
+    )
+    return run_campaign(
+        Path(out),
+        spec,
+        resume=resume,
+        supervisor=supervisor,
+        executor=_executor(workers, cache),
+    )
+
+
+def verify(
+    *,
+    campaign: str = "smoke",
+    seed: int = 0,
+    trials: Optional[int] = None,
+    litmus: bool = True,
+    litmus_schedules: int = 6,
+    mutation: Optional[str] = None,
+) -> VerifyReport:
+    """Run a protocol-verification campaign (litmus suite + fuzzing)."""
+    from repro.verify.fuzz import CAMPAIGNS, run_campaign as run_fuzz
+    from repro.verify.litmus import run_suite
+
+    if campaign not in CAMPAIGNS:
+        raise ValueError(
+            f"unknown verify campaign {campaign!r}; "
+            f"available: {sorted(CAMPAIGNS)}"
+        )
+    violations: List[str] = []
+    if litmus:
+        for outcome in run_suite(
+            num_cores=8,
+            schedules=litmus_schedules,
+            seed=seed,
+            online_interval=150,
+        ):
+            violations.extend(str(v) for v in outcome.violations)
+    fuzz = run_fuzz(campaign, seed=seed, trials=trials, mutation=mutation)
+    return VerifyReport(
+        campaign=campaign,
+        seed=seed,
+        litmus_violations=tuple(violations),
+        fuzz_failures=tuple(str(f) for f in fuzz.failures),
+        digest=fuzz.digest,
+    )
+
+
+def trace(
+    app: str,
+    *,
+    protocol: str = "widir",
+    cores: int = 16,
+    memops: Optional[int] = None,
+    seed: int = 42,
+    trace_seed: int = 0,
+    max_wired_sharers: int = 3,
+    sample_interval: Optional[int] = None,
+    flight_recorder_depth: Optional[int] = None,
+) -> TraceResult:
+    """Run one app with the observability layer enabled.
+
+    Tracing is digest-neutral: ``TraceResult.result`` is bit-identical to
+    the same :func:`simulate` call (the trace-smoke CI job enforces it).
+    Runs in-process (no executor/cache) because the capture must be read
+    from the live machine.
+    """
+    from dataclasses import replace
+
+    from repro.config.system import ObsConfig
+    from repro.harness.runner import run_app
+
+    defaults = ObsConfig()
+    config = replace(
+        _config_for(protocol, cores, seed, max_wired_sharers),
+        obs=ObsConfig(
+            enabled=True,
+            flight_recorder_depth=(
+                flight_recorder_depth
+                if flight_recorder_depth is not None
+                else defaults.flight_recorder_depth
+            ),
+            sample_interval=(
+                sample_interval
+                if sample_interval is not None
+                else defaults.sample_interval
+            ),
+        ),
+    )
+    sink: List = []
+    result = run_app(
+        app, config, memops, trace_seed=trace_seed, machine_sink=sink
+    )
+    capture = sink[0].obs.capture(app=app)
+    return TraceResult(result=result, capture=capture)

@@ -1,31 +1,38 @@
 """Command-line interface.
 
-``python -m repro <command>`` exposes the harness without writing any
-Python:
+``python -m repro <noun> <verb>`` exposes the harness without writing any
+Python. Commands follow a consistent noun-verb scheme:
 
-===========  =============================================================
-run          run one app on one machine, print the headline metrics
-compare      run Baseline and WiDir on the same traces, print the ratio
-figure       regenerate a paper artifact (fig5..fig10, table4..table6,
-             motivation) and print its table
-apps         list the 20 application profiles and their calibration
-profile      cProfile one in-process run; write a pstats report to
-             ``docs/profiles/`` (see docs/PERFORMANCE.md)
-verify       run a protocol verification campaign (litmus suite + fault-
-             injecting fuzzing with online invariant checking); failures
-             are shrunk and archived as replayable JSON artifacts
-verify replay  re-execute a failure artifact (see docs/TESTING.md)
-trace run    run one app with the observability layer enabled; write a
-             Perfetto/Chrome ``trace.json`` plus a raw capture
-trace export   re-export a saved capture (chrome or text timeline)
-trace summarize  span/latency statistics of a saved capture
-=========== ==============================================================
+==================  ======================================================
+sim run             run one app on one machine, print the headline metrics
+sim compare         run Baseline and WiDir on the same traces, print ratio
+sim profile         cProfile one in-process run; write a pstats report
+figure render       regenerate a paper artifact (fig5..fig10, table4..
+                    table6, motivation) and print its table
+apps list           list the 20 application profiles and their calibration
+verify run          protocol verification campaign (litmus + fuzzing)
+verify replay       re-execute a failure artifact (see docs/TESTING.md)
+trace run           run one app with observability enabled; export traces
+trace export        re-export a saved capture (chrome or text timeline)
+trace summarize     span/latency statistics of a saved capture
+campaign run        start a fault-tolerant, checkpointed sweep campaign
+campaign resume     resume an interrupted/degraded campaign where it died
+campaign status     inspect a campaign's journal (progress, retries)
+campaign render     render a figure from a campaign's (possibly partial)
+                    results
+==================  ======================================================
 
-Simulations execute through :mod:`repro.harness.executor`: identical runs
-are deduplicated, results are memoized on disk (``REPRO_CACHE_DIR``,
-bypass with ``--no-cache``), and unique runs fan out over ``--workers``
-processes (default ``REPRO_WORKERS`` or the CPU count) with byte-identical
-output either way. See ``docs/PERFORMANCE.md``.
+The old single-word spellings (``repro run``, ``repro compare``,
+``repro figure``, ``repro apps``, ``repro profile``, bare ``repro
+verify``) still work for one release as hidden aliases that print a
+deprecation notice to stderr. Shared options are declared once on parent
+parsers: ``--workers``/``--no-cache`` (execution), ``--cores``/
+``--memops``/``--seed`` (machine), ``--out`` (output path).
+
+Simulations execute through :mod:`repro.harness.executor` (dedup +
+on-disk memoization, ``REPRO_CACHE_DIR``, ``--no-cache``, ``--workers``);
+campaigns add the fault-tolerant supervisor + crash-safe checkpoints of
+:mod:`repro.harness.campaign`. See docs/API.md and docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -33,7 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.config.presets import baseline_config, widir_config
 from repro.harness import figures as figure_functions
@@ -82,26 +89,80 @@ FIGURES = {
     ),
 }
 
+#: Every canonical ``(noun, verb)`` command path; the CLI contract tests
+#: snapshot ``--help`` for each of these (plus the root parser).
+CLI_COMMANDS: Tuple[Tuple[str, ...], ...] = (
+    ("sim", "run"),
+    ("sim", "compare"),
+    ("sim", "profile"),
+    ("figure", "render"),
+    ("apps", "list"),
+    ("verify", "run"),
+    ("verify", "replay"),
+    ("trace", "run"),
+    ("trace", "export"),
+    ("trace", "summarize"),
+    ("campaign", "run"),
+    ("campaign", "resume"),
+    ("campaign", "status"),
+    ("campaign", "render"),
+)
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--cores", type=int, default=16, help="core count")
-    parser.add_argument(
-        "--memops", type=int, default=800, help="memory references per core"
-    )
-    parser.add_argument("--seed", type=int, default=42, help="machine seed")
-    parser.add_argument(
+#: Old spelling -> new spelling, for the deprecation notices.
+DEPRECATED_ALIASES = {
+    "run": "sim run",
+    "compare": "sim compare",
+    "profile": "sim profile",
+    "figure": "figure render",
+    "apps": "apps list",
+    "verify": "verify run",
+}
+
+
+# -------------------------------------------------------- parent parsers
+
+
+def _execution_parent() -> argparse.ArgumentParser:
+    """Shared ``--workers`` / ``--no-cache`` (declared once, used by every
+    simulating subcommand)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument(
         "--workers",
         type=int,
         default=None,
         help="simulation worker processes (default: REPRO_WORKERS or CPU "
         "count; 1 forces the deterministic serial path)",
     )
-    parser.add_argument(
+    group.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the on-disk result cache (REPRO_CACHE_DIR) and "
         "re-simulate every run",
     )
+    return parent
+
+
+def _machine_parent(
+    cores: int = 16, memops: int = 800, seed: int = 42
+) -> argparse.ArgumentParser:
+    """Shared ``--cores`` / ``--memops`` / ``--seed`` machine options."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("machine")
+    group.add_argument("--cores", type=int, default=cores, help="core count")
+    group.add_argument(
+        "--memops", type=int, default=memops,
+        help="memory references per core",
+    )
+    group.add_argument("--seed", type=int, default=seed, help="machine seed")
+    return parent
+
+
+def _out_parent(default: Optional[str], help_text: str) -> argparse.ArgumentParser:
+    """Shared ``--out`` output-path option."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--out", default=default, help=help_text)
+    return parent
 
 
 def _executor_from(args: argparse.Namespace) -> Executor:
@@ -110,184 +171,331 @@ def _executor_from(args: argparse.Namespace) -> Executor:
     )
 
 
-def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="WiDir (HPCA 2021) reproduction harness",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
+# ------------------------------------------------- subcommand definitions
 
-    run_parser = sub.add_parser("run", help="run one application")
-    run_parser.add_argument("app", choices=ALL_APPS)
-    run_parser.add_argument(
+
+def _configure_sim_run(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", choices=ALL_APPS)
+    parser.add_argument(
         "--protocol", choices=("baseline", "widir"), default="widir"
     )
-    run_parser.add_argument("--json", action="store_true", help="emit JSON")
-    _add_common(run_parser)
+    parser.add_argument("--json", action="store_true", help="emit JSON")
 
-    compare_parser = sub.add_parser("compare", help="Baseline vs WiDir")
-    compare_parser.add_argument("app", choices=ALL_APPS)
-    _add_common(compare_parser)
 
-    figure_parser = sub.add_parser("figure", help="regenerate a paper artifact")
-    figure_parser.add_argument("name", choices=sorted(FIGURES))
-    figure_parser.add_argument(
-        "--apps", default="radiosity,water-spa,blackscholes",
-        help="comma-separated app list, or 'all'",
-    )
-    _add_common(figure_parser)
+def _configure_sim_compare(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", choices=ALL_APPS)
 
-    sub.add_parser("apps", help="list application profiles")
 
-    profile_parser = sub.add_parser(
-        "profile",
-        help="cProfile one in-process simulation and write a pstats report",
-    )
-    profile_parser.add_argument("app", choices=ALL_APPS)
-    profile_parser.add_argument(
+def _configure_sim_profile(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", choices=ALL_APPS)
+    parser.add_argument(
         "--protocol", choices=("baseline", "widir"), default="widir"
     )
-    profile_parser.add_argument("--cores", type=int, default=64, help="core count")
-    profile_parser.add_argument(
-        "--memops", type=int, default=800, help="memory references per core"
-    )
-    profile_parser.add_argument("--seed", type=int, default=42, help="machine seed")
-    profile_parser.add_argument(
+    parser.add_argument(
         "--trace-seed", type=int, default=7, help="workload trace seed"
     )
-    profile_parser.add_argument(
+    parser.add_argument(
         "--sort",
         choices=("tottime", "cumulative"),
         default="tottime",
         help="pstats sort key (default: tottime)",
     )
-    profile_parser.add_argument(
+    parser.add_argument(
         "--top", type=int, default=25, help="number of pstats rows to keep"
     )
-    profile_parser.add_argument(
+    parser.add_argument(
         "--cold",
         action="store_true",
         help="skip the warm-up run (include trace synthesis and import "
         "effects in the profile)",
     )
-    profile_parser.add_argument(
-        "--output",
-        default=None,
-        help="report path ('-' for stdout only; default "
-        "docs/profiles/<app>-<protocol>-<cores>c.txt)",
+    # Old spelling of --out; kept working but hidden from help.
+    parser.add_argument(
+        "--output", dest="out", default=None, help=argparse.SUPPRESS
     )
 
-    verify_parser = sub.add_parser(
-        "verify",
-        help="run a protocol verification campaign (litmus + fuzzing), or "
-        "replay a failure artifact",
+
+def _configure_figure_render(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("name", choices=sorted(FIGURES))
+    parser.add_argument(
+        "--apps", default="radiosity,water-spa,blackscholes",
+        help="comma-separated app list, or 'all'",
     )
-    verify_parser.add_argument(
+
+
+def _configure_verify_opts(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
         "--campaign", default="smoke", help="campaign name (smoke, deep)"
     )
-    verify_parser.add_argument(
+    parser.add_argument(
         "--seed", type=int, default=0, help="campaign root seed"
     )
-    verify_parser.add_argument(
+    parser.add_argument(
         "--trials", type=int, default=None, help="override the trial count"
     )
-    verify_parser.add_argument(
+    parser.add_argument(
         "--mutate",
         default=None,
         help="apply a seeded protocol mutation to every WiDir trial "
         "(mutation smoke testing; the campaign must fail)",
     )
-    verify_parser.add_argument(
+    parser.add_argument(
         "--litmus-schedules",
         type=int,
         default=6,
         help="issue schedules per litmus (test, config) pair",
     )
-    verify_parser.add_argument(
+    parser.add_argument(
         "--skip-litmus", action="store_true", help="fuzz trials only"
     )
-    verify_parser.add_argument(
+    parser.add_argument(
         "--artifact-dir",
         default="verify-artifacts",
         help="where failing trials are archived as replayable JSON",
     )
-    verify_parser.add_argument(
+    parser.add_argument(
         "--no-shrink",
         action="store_true",
         help="archive failing trials without the delta-debugging pass",
     )
-    verify_sub = verify_parser.add_subparsers(dest="verify_command")
-    replay_parser = verify_sub.add_parser(
-        "replay", help="re-execute a failure artifact"
-    )
-    replay_parser.add_argument("artifact", help="path to the artifact JSON")
 
-    trace_parser = sub.add_parser(
-        "trace", help="record / export / summarize observability captures"
-    )
-    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
 
-    trace_run = trace_sub.add_parser(
-        "run", help="run one app with tracing enabled and export a trace"
-    )
-    trace_run.add_argument(
+def _configure_trace_run(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
         "--app", choices=ALL_APPS, default="radiosity", help="application"
     )
-    trace_run.add_argument(
+    parser.add_argument(
         "--preset", choices=("baseline", "widir"), default="widir"
     )
-    trace_run.add_argument("--cores", type=int, default=16, help="core count")
-    trace_run.add_argument(
-        "--memops", type=int, default=800, help="memory references per core"
-    )
-    trace_run.add_argument("--seed", type=int, default=42, help="machine seed")
-    trace_run.add_argument(
+    parser.add_argument(
         "--trace-seed", type=int, default=0, help="workload trace seed"
     )
-    trace_run.add_argument(
+    parser.add_argument(
         "--sample-interval",
         type=int,
         default=None,
         help="counter sampling interval in cycles (default: ObsConfig)",
     )
-    trace_run.add_argument(
+    parser.add_argument(
         "--depth",
         type=int,
         default=None,
         help="flight-recorder ring depth per node (default: ObsConfig)",
     )
-    trace_run.add_argument(
-        "--out", default="trace.json", help="Chrome/Perfetto trace output path"
-    )
-    trace_run.add_argument(
+    parser.add_argument(
         "--capture",
         default=None,
         help="also save the raw capture JSON (re-exportable offline)",
     )
-    trace_run.add_argument(
+    parser.add_argument(
         "--timeline", action="store_true", help="print the text timeline too"
     )
-    trace_run.add_argument(
+    parser.add_argument(
         "--limit", type=int, default=40, help="timeline rows to print"
     )
 
-    trace_export = trace_sub.add_parser(
-        "export", help="re-export a saved capture JSON"
+
+def _configure_campaign_common(parser: argparse.ArgumentParser) -> None:
+    """Supervision knobs shared by ``campaign run`` and ``campaign resume``."""
+    group = parser.add_argument_group("supervision")
+    group.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-run wall-clock budget in seconds (default: unlimited)",
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="attempts per run before giving up and degrading (default 3)",
+    )
+    group.add_argument(
+        "--backoff-seed", type=int, default=0,
+        help="seed of the retry-backoff RNG",
+    )
+    group.add_argument(
+        "--backoff-unit",
+        type=float,
+        default=0.05,
+        help="seconds per backoff cycle (0 retries instantly; default 0.05)",
+    )
+    group.add_argument(
+        "--inject",
+        default=None,
+        help="seeded fault injection for drills, e.g. 'crash=0.2,hang=0.1' "
+        "(kinds: crash, hang, stall, error)",
+    )
+    group.add_argument(
+        "--inject-seed", type=int, default=0, help="fault-injection seed"
+    )
+    group.add_argument(
+        "--trace-out",
+        default=None,
+        help="write campaign retry spans as a Chrome trace JSON",
+    )
+
+
+def _configure_campaign_run(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--name", default=None,
+        help="campaign name (default: the --out directory name)",
+    )
+    parser.add_argument(
+        "--sweep",
+        choices=("protocols", "thresholds"),
+        default="protocols",
+        help="run matrix: Baseline-vs-WiDir pairs, or a MaxWiredSharers "
+        "threshold sweep",
+    )
+    parser.add_argument(
+        "--apps", required=True,
+        help="comma-separated app list, or 'all'",
+    )
+    parser.add_argument(
+        "--thresholds", default="2,3,4,5",
+        help="MaxWiredSharers values for --sweep thresholds",
+    )
+    parser.add_argument(
+        "--trace-seed", type=int, default=0, help="workload trace seed"
+    )
+    _configure_campaign_common(parser)
+
+
+def _configure_campaign_resume(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("dir", help="campaign directory to resume")
+    _configure_campaign_common(parser)
+
+
+def _configure_campaign_status(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("dir", help="campaign directory to inspect")
+
+
+def _configure_campaign_render(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("dir", help="campaign directory to render from")
+    parser.add_argument(
+        "--figure",
+        choices=sorted(name for name in FIGURES if name != "motivation"),
+        required=True,
+        help="paper artifact to render from the campaign's results",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail instead of rendering partial output when runs are "
+        "missing",
+    )
+
+
+# ---------------------------------------------------------- parser build
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser (exposed for the contract tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WiDir (HPCA 2021) reproduction harness",
+    )
+    nouns = parser.add_subparsers(
+        dest="command",
+        required=True,
+        metavar="{sim,figure,apps,verify,trace,campaign}",
+    )
+    execution = _execution_parent()
+
+    # ---- sim -----------------------------------------------------------
+    sim = nouns.add_parser("sim", help="run simulations")
+    sim_verbs = sim.add_subparsers(dest="verb", required=True)
+    sim_run = sim_verbs.add_parser(
+        "run",
+        help="run one application",
+        parents=[_machine_parent(), execution],
+    )
+    _configure_sim_run(sim_run)
+    sim_compare = sim_verbs.add_parser(
+        "compare",
+        help="Baseline vs WiDir on the same traces",
+        parents=[_machine_parent(), execution],
+    )
+    _configure_sim_compare(sim_compare)
+    sim_profile = sim_verbs.add_parser(
+        "profile",
+        help="cProfile one in-process simulation; write a pstats report",
+        parents=[
+            _machine_parent(cores=64),
+            _out_parent(
+                None,
+                "report path ('-' for stdout only; default "
+                "docs/profiles/<app>-<protocol>-<cores>c.txt)",
+            ),
+        ],
+    )
+    _configure_sim_profile(sim_profile)
+
+    # ---- figure --------------------------------------------------------
+    figure = nouns.add_parser("figure", help="regenerate paper artifacts")
+    figure_verbs = figure.add_subparsers(dest="verb", required=True)
+    figure_render = figure_verbs.add_parser(
+        "render",
+        help="regenerate a paper artifact and print its table",
+        parents=[_machine_parent(), execution],
+    )
+    _configure_figure_render(figure_render)
+
+    # ---- apps ----------------------------------------------------------
+    apps = nouns.add_parser("apps", help="application profiles")
+    apps_verbs = apps.add_subparsers(dest="verb", required=True)
+    apps_verbs.add_parser("list", help="list the 20 application profiles")
+
+    # ---- verify --------------------------------------------------------
+    verify = nouns.add_parser(
+        "verify", help="protocol verification campaigns"
+    )
+    verify_verbs = verify.add_subparsers(dest="verb")
+    verify_run = verify_verbs.add_parser(
+        "run", help="run a verification campaign (litmus + fuzzing)"
+    )
+    _configure_verify_opts(verify_run)
+    replay = verify_verbs.add_parser(
+        "replay", help="re-execute a failure artifact"
+    )
+    replay.add_argument("artifact", help="path to the artifact JSON")
+    # Old spelling: bare `repro verify --campaign ...` (no verb).
+    _configure_verify_opts(verify)
+
+    # ---- trace ---------------------------------------------------------
+    trace = nouns.add_parser(
+        "trace", help="record / export / summarize observability captures"
+    )
+    trace_verbs = trace.add_subparsers(dest="verb", required=True)
+    trace_run = trace_verbs.add_parser(
+        "run",
+        help="run one app with tracing enabled and export a trace",
+        parents=[
+            _machine_parent(),
+            _out_parent("trace.json", "Chrome/Perfetto trace output path"),
+        ],
+    )
+    _configure_trace_run(trace_run)
+    trace_export = trace_verbs.add_parser(
+        "export",
+        help="re-export a saved capture JSON",
+        parents=[
+            _out_parent(
+                None,
+                "output path (default: trace.json for chrome, stdout for "
+                "text)",
+            )
+        ],
     )
     trace_export.add_argument("capture", help="path to a saved capture JSON")
     trace_export.add_argument(
         "--format", choices=("chrome", "text"), default="chrome"
     )
     trace_export.add_argument(
-        "--out",
-        default=None,
-        help="output path (default: trace.json for chrome, stdout for text)",
-    )
-    trace_export.add_argument(
         "--limit", type=int, default=None, help="text-timeline row cap"
     )
-
-    trace_summarize = trace_sub.add_parser(
+    trace_summarize = trace_verbs.add_parser(
         "summarize", help="print span/latency statistics of a saved capture"
     )
     trace_summarize.add_argument("capture", help="path to a saved capture JSON")
@@ -297,10 +505,117 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     trace_summarize.add_argument(
         "--limit", type=int, default=40, help="timeline rows to print"
     )
-    return parser.parse_args(argv)
+
+    # ---- campaign ------------------------------------------------------
+    campaign = nouns.add_parser(
+        "campaign",
+        help="fault-tolerant, crash-safe-resumable sweep campaigns",
+    )
+    campaign_verbs = campaign.add_subparsers(dest="verb", required=True)
+    campaign_run = campaign_verbs.add_parser(
+        "run",
+        help="start a checkpointed campaign (resumable with `campaign "
+        "resume`)",
+        parents=[
+            _machine_parent(),
+            execution,
+            _out_parent(None, "campaign directory (required)"),
+        ],
+    )
+    _configure_campaign_run(campaign_run)
+    campaign_resume = campaign_verbs.add_parser(
+        "resume",
+        help="resume an interrupted or degraded campaign where it died",
+        parents=[execution],
+    )
+    _configure_campaign_resume(campaign_resume)
+    campaign_status = campaign_verbs.add_parser(
+        "status", help="inspect a campaign's checkpoint journal"
+    )
+    _configure_campaign_status(campaign_status)
+    campaign_render = campaign_verbs.add_parser(
+        "render",
+        help="render a paper figure from a campaign's (partial) results",
+    )
+    _configure_campaign_render(campaign_render)
+
+    # ---- hidden deprecated aliases ------------------------------------
+    legacy_run = nouns.add_parser(
+        "run", parents=[_machine_parent(), execution]
+    )
+    _configure_sim_run(legacy_run)
+    legacy_run.set_defaults(command="sim", verb="run", _deprecated="run")
+    legacy_compare = nouns.add_parser(
+        "compare", parents=[_machine_parent(), execution]
+    )
+    _configure_sim_compare(legacy_compare)
+    legacy_compare.set_defaults(
+        command="sim", verb="compare", _deprecated="compare"
+    )
+    legacy_profile = nouns.add_parser(
+        "profile",
+        parents=[
+            _machine_parent(cores=64),
+            _out_parent(None, "report path"),
+        ],
+    )
+    _configure_sim_profile(legacy_profile)
+    legacy_profile.set_defaults(
+        command="sim", verb="profile", _deprecated="profile"
+    )
+    # `repro apps` (no verb) must keep working: the canonical `apps` parser
+    # above requires a verb, so route the bare spelling through a default.
+    apps_verbs.required = False
+    apps.set_defaults(verb="list")
+
+    return parser
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _rewrite_legacy_argv(argv: List[str]) -> tuple:
+    """Map old command spellings onto the noun-verb grammar.
+
+    ``repro figure <artifact>`` (old) becomes ``repro figure render
+    <artifact>``; the pure renames (``run``/``compare``/``profile``) are
+    handled by hidden alias subparsers instead. Returns the possibly
+    rewritten argv plus the deprecated spelling used (or ``None``).
+    """
+    if (
+        len(argv) >= 2
+        and argv[0] == "figure"
+        and argv[1] not in ("render", "-h", "--help")
+    ):
+        return ["figure", "render"] + list(argv[1:]), "figure"
+    return list(argv), None
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv, legacy = _rewrite_legacy_argv(list(argv))
+    args = build_parser().parse_args(argv)
+    if legacy is not None:
+        args._deprecated = legacy
+    # Bare `repro verify ...` (no verb) is the old spelling of `verify run`.
+    if args.command == "verify" and getattr(args, "verb", None) is None:
+        args.verb = "run"
+        args._deprecated = "verify"
+    return args
+
+
+def _warn_deprecated(args: argparse.Namespace) -> None:
+    old = getattr(args, "_deprecated", None)
+    if old:
+        print(
+            f"repro: `repro {old}` is deprecated; use "
+            f"`repro {DEPRECATED_ALIASES[old]}` (see docs/API.md)",
+            file=sys.stderr,
+        )
+
+
+# ------------------------------------------------------------- handlers
+
+
+def _cmd_sim_run(args: argparse.Namespace) -> int:
     make = widir_config if args.protocol == "widir" else baseline_config
     result = _executor_from(args).run(
         args.app, make(num_cores=args.cores, seed=args.seed), args.memops
@@ -325,7 +640,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
+def _cmd_sim_compare(args: argparse.Namespace) -> int:
     base, widir = _executor_from(args).run_pair(
         args.app, num_cores=args.cores, memops_per_core=args.memops, seed=args.seed
     )
@@ -337,7 +652,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_figure(args: argparse.Namespace) -> int:
+def _cmd_figure_render(args: argparse.Namespace) -> int:
     apps = ALL_APPS if args.apps.strip() == "all" else tuple(
         name.strip() for name in args.apps.split(",") if name.strip()
     )
@@ -359,7 +674,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_profile(args: argparse.Namespace) -> int:
+def _cmd_sim_profile(args: argparse.Namespace) -> int:
     """Profile one simulation in-process and write a pstats report.
 
     The run goes straight through :func:`repro.harness.runner.run_app`
@@ -411,13 +726,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     # Relativize source paths so reports are comparable across checkouts.
     text = (header + stream.getvalue()).replace(str(Path.cwd().resolve()) + "/", "")
     print(text)
-    if args.output != "-":
-        if args.output is None:
+    if args.out != "-":
+        if args.out is None:
             out_path = Path("docs") / "profiles" / (
                 f"{args.app}-{args.protocol}-{args.cores}c.txt"
             )
         else:
-            out_path = Path(args.output)
+            out_path = Path(args.out)
         out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(text, encoding="utf-8")
         print(f"wrote {out_path}")
@@ -439,7 +754,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify.litmus import run_suite
     from repro.verify.mutations import MUTATIONS
 
-    if args.verify_command == "replay":
+    if args.verb == "replay":
         artifact = FailureArtifact.load(args.artifact)
         print(
             f"replaying: campaign={artifact.campaign} seed={artifact.seed} "
@@ -584,9 +899,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         write_chrome_trace,
     )
 
-    if args.trace_command in ("export", "summarize"):
+    if args.verb in ("export", "summarize"):
         capture = json.loads(Path(args.capture).read_text(encoding="utf-8"))
-        if args.trace_command == "summarize":
+        if args.verb == "summarize":
             print(summarize_capture(capture))
             if args.timeline:
                 print(render_text_timeline(capture, limit=args.limit))
@@ -670,7 +985,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 1 if orphans else 0
 
 
-def _cmd_apps(_args: argparse.Namespace) -> int:
+def _cmd_apps_list(_args: argparse.Namespace) -> int:
     print(f"{'app':14s} {'suite':8s} {'paper MPKI':>10s} {'sharing mix'}")
     for name in ALL_APPS:
         profile = APP_PROFILES[name]
@@ -679,19 +994,150 @@ def _cmd_apps(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """``campaign run/resume/status/render`` — see docs/API.md for the
+    on-disk checkpoint formats and the resume-identity contract."""
+    from pathlib import Path
+
+    from repro.harness.campaign import (
+        Campaign,
+        CampaignError,
+        CampaignSpec,
+        run_campaign,
+    )
+    from repro.harness.supervisor import (
+        RetryPolicy,
+        SeededFaults,
+        WorkerSupervisor,
+    )
+    from repro.obs.campaign import CampaignTelemetry
+
+    try:
+        if args.verb == "status":
+            print(Campaign.load(Path(args.dir)).status().render())
+            return 0
+
+        if args.verb == "render":
+            campaign = Campaign.load(Path(args.dir))
+            spec = campaign.spec
+            source = campaign.result_source(strict=args.strict)
+            result = FIGURES[args.figure](
+                apps=spec.apps,
+                cores=spec.cores[0],
+                memops=spec.memops,
+                executor=source,
+            )
+            if isinstance(result, dict):  # figure8-style multi-table
+                partial = False
+                for figure in result.values():
+                    print(figure.text)
+                    partial = partial or figure.partial
+            else:
+                print(result.text)
+                partial = result.partial
+            return 3 if partial else 0
+
+        # run / resume
+        if args.verb == "run":
+            if args.out is None:
+                print("campaign run requires --out DIR", file=sys.stderr)
+                return 2
+            directory = Path(args.out)
+            apps = (
+                ALL_APPS
+                if args.apps.strip() == "all"
+                else tuple(
+                    name.strip()
+                    for name in args.apps.split(",")
+                    if name.strip()
+                )
+            )
+            unknown = [a for a in apps if a not in APP_PROFILES]
+            if unknown:
+                print(f"unknown apps: {', '.join(unknown)}", file=sys.stderr)
+                return 2
+            spec = CampaignSpec(
+                name=args.name if args.name else directory.name,
+                kind=args.sweep,
+                apps=apps,
+                cores=(args.cores,),
+                memops=args.memops,
+                seed=args.seed,
+                thresholds=tuple(
+                    int(t) for t in args.thresholds.split(",") if t.strip()
+                ),
+                trace_seed=args.trace_seed,
+            )
+        else:  # resume
+            directory = Path(args.dir)
+            spec = None
+
+        faults = (
+            SeededFaults.parse(args.inject, seed=args.inject_seed)
+            if args.inject
+            else None
+        )
+        supervisor = WorkerSupervisor(
+            workers=args.workers,
+            timeout=args.timeout,
+            retry=RetryPolicy(
+                max_attempts=args.retries,
+                unit=args.backoff_unit,
+                seed=args.backoff_seed,
+            ),
+            faults=faults,
+        )
+        telemetry = CampaignTelemetry()
+        report = run_campaign(
+            directory,
+            spec,
+            supervisor=supervisor,
+            executor=_executor_from(args),
+            telemetry=telemetry,
+        )
+        print(report.render())
+        print("telemetry:")
+        for line in telemetry.render_counters(indent="  "):
+            print(line)
+        if args.trace_out:
+            written = telemetry.write_chrome_trace(
+                args.trace_out, workers=supervisor.workers
+            )
+            print(f"wrote campaign trace {written}")
+        return 0 if report.ok else 1
+    except CampaignError as error:
+        print(f"campaign error: {error}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _parse_args(argv)
+    _warn_deprecated(args)
     handlers = {
-        "run": _cmd_run,
-        "compare": _cmd_compare,
-        "figure": _cmd_figure,
-        "apps": _cmd_apps,
-        "profile": _cmd_profile,
-        "verify": _cmd_verify,
-        "trace": _cmd_trace,
+        ("sim", "run"): _cmd_sim_run,
+        ("sim", "compare"): _cmd_sim_compare,
+        ("sim", "profile"): _cmd_sim_profile,
+        ("figure", "render"): _cmd_figure_render,
+        ("apps", "list"): _cmd_apps_list,
+        ("verify", "run"): _cmd_verify,
+        ("verify", "replay"): _cmd_verify,
+        ("trace", "run"): _cmd_trace,
+        ("trace", "export"): _cmd_trace,
+        ("trace", "summarize"): _cmd_trace,
+        ("campaign", "run"): _cmd_campaign,
+        ("campaign", "resume"): _cmd_campaign,
+        ("campaign", "status"): _cmd_campaign,
+        ("campaign", "render"): _cmd_campaign,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[(args.command, args.verb)](args)
+    except BrokenPipeError:  # e.g. `repro sim run ... | head`
+        try:
+            sys.stdout.close()
+        except OSError:  # pragma: no cover - double-close race
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

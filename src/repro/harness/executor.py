@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import time
 from dataclasses import dataclass
@@ -44,7 +45,10 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.config.presets import baseline_config, widir_config
 from repro.config.system import SystemConfig
+from repro.harness.ioutils import atomic_write_json, quarantine
 from repro.harness.runner import DEFAULT_MEMOPS, SimulationResult, run_app
+
+log = logging.getLogger("repro.harness.executor")
 
 #: Bump on ANY change that alters simulation results or their serialized
 #: shape (protocol semantics, stats counters, energy constants, trace
@@ -263,29 +267,41 @@ class Executor:
             return None
         path = self._cache_path(key)
         try:
-            return json.loads(path.read_text())
-        except (OSError, ValueError):
-            # Missing, unreadable, or truncated by a crashed writer: treat
-            # all three as a miss and re-simulate.
+            raw = path.read_text()
+        except OSError:
+            return None  # plain miss
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entries must be JSON objects")
+            return payload
+        except ValueError:
+            # A corrupt entry (e.g. a pre-hardening writer killed mid-write)
+            # must never poison the run: move it aside for post-mortem
+            # inspection, log, and recompute.
+            log.warning("corrupt cache entry for %s; quarantining", key)
+            quarantine(path)
             return None
 
     def _cache_store(self, key: str, payload: Dict) -> None:
         if not self.use_cache:
             return
-        path = self._cache_path(key)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-            tmp.write_text(json.dumps(payload, sort_keys=True))
-            os.replace(tmp, path)  # atomic: concurrent executors never clash
+            # tmp + fsync + rename: a kill mid-write can never leave a torn
+            # JSON file at the final path (see repro.harness.ioutils).
+            atomic_write_json(self._cache_path(key), payload)
         except OSError:
             pass  # a read-only cache dir degrades to "no memoization"
 
     def prune_cache(self) -> int:
-        """Delete every cached entry; returns the number removed."""
+        """Delete every cached entry (plus quarantined/stale-tmp debris);
+        returns the number removed."""
         removed = 0
         if self.cache_dir.is_dir():
-            for entry in self.cache_dir.glob("*.json"):
+            entries = list(self.cache_dir.glob("*.json"))
+            entries += self.cache_dir.glob("*.json.corrupt.*")
+            entries += self.cache_dir.glob("*.json.tmp.*")
+            for entry in entries:
                 try:
                     entry.unlink()
                     removed += 1

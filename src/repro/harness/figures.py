@@ -33,16 +33,46 @@ DEFAULT_APPS: Tuple[str, ...] = ALL_APPS
 
 
 class FigureResult:
-    """A computed figure: structured rows plus a rendered table."""
+    """A computed figure: structured rows plus a rendered table.
 
-    def __init__(self, name: str, headers: Sequence[str], rows: List[Sequence], text: str):
+    ``missing`` lists the grid points that could not be rendered because
+    their runs were unavailable (a degraded campaign serving partial
+    results through a
+    :class:`~repro.harness.campaign.CampaignResultSource`); a plain
+    :class:`Executor` always simulates, so it is empty in direct use. When
+    non-empty the rendered table carries an explicit partial-output note
+    and ``partial`` is True — figures degrade, they never abort.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        headers: Sequence[str],
+        rows: List[Sequence],
+        text: str,
+        missing: Optional[Sequence[str]] = None,
+    ):
         self.name = name
         self.headers = list(headers)
         self.rows = rows
-        self.text = text
+        self.missing = list(missing or [])
+        self.text = _with_partial_note(text, self.missing)
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.missing)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.text
+
+
+def _with_partial_note(text: str, missing: Sequence[str]) -> str:
+    if not missing:
+        return text
+    return (
+        f"{text}\n(PARTIAL: {len(missing)} grid point(s) missing — "
+        f"{', '.join(missing)}; see the campaign provenance manifest)"
+    )
 
 
 def _apps_or_default(apps: Optional[Iterable[str]]) -> Tuple[str, ...]:
@@ -68,15 +98,27 @@ def _pairs(
     num_cores: int,
     memops: Optional[int],
     executor: Executor,
-) -> List[Tuple[str, SimulationResult, SimulationResult]]:
-    """One Baseline/WiDir pair per app, declared as a single plan."""
+) -> Tuple[List[Tuple[str, SimulationResult, SimulationResult]], List[str]]:
+    """One Baseline/WiDir pair per app, declared as a single plan.
+
+    Returns ``(pairs, missing_apps)``: apps whose baseline or WiDir run the
+    executor could not serve (``None`` from a partial campaign source) are
+    reported rather than crashed on.
+    """
     plan = ExperimentPlan()
     indices = [
         (app, plan.add_pair(app, num_cores=num_cores, memops=memops))
         for app in apps
     ]
     results = executor.map_runs(plan)
-    return [(app, results[b], results[w]) for app, (b, w) in indices]
+    pairs = []
+    missing = []
+    for app, (b, w) in indices:
+        if results[b] is None or results[w] is None:
+            missing.append(app)
+        else:
+            pairs.append((app, results[b], results[w]))
+    return pairs, missing
 
 
 # --------------------------------------------------------------- Table IV
@@ -93,11 +135,16 @@ def table4_mpki_characterization(
     for app in apps:
         plan.add(app, baseline_config(num_cores=num_cores), memops)
     results = _exe(executor).map_runs(plan)
-    rows = [[app, result.mpki] for app, result in zip(apps, results)]
+    missing = [app for app, result in zip(apps, results) if result is None]
+    rows = [
+        [app, result.mpki]
+        for app, result in zip(apps, results)
+        if result is not None
+    ]
     text = format_table(
         ["app", "baseline MPKI"], rows, title="Table IV: L1 MPKI in Baseline"
     )
-    return FigureResult("table4", ["app", "mpki"], rows, text)
+    return FigureResult("table4", ["app", "mpki"], rows, text, missing=missing)
 
 
 # --------------------------------------------------------------- Figure 5
@@ -115,8 +162,11 @@ def figure5_sharer_histogram(
     for app in apps:
         plan.add(app, widir_config(num_cores=num_cores), memops)
     results = _exe(executor).map_runs(plan)
+    missing = [app for app, result in zip(apps, results) if result is None]
     rows = []
     for app, result in zip(apps, results):
+        if result is None:
+            continue
         total = sum(result.sharer_histogram.values())
         fractions = [
             (result.sharer_histogram.get(b, 0) / total if total else 0.0)
@@ -128,7 +178,7 @@ def figure5_sharer_histogram(
         rows,
         title="Figure 5: sharers updated per wireless write (fraction of writes)",
     )
-    return FigureResult("fig5", ["app"] + bins, rows, text)
+    return FigureResult("fig5", ["app"] + bins, rows, text, missing=missing)
 
 
 # --------------------------------------------------------------- Figure 6
@@ -142,9 +192,10 @@ def figure6_mpki(
     """Figure 6: MPKI of WiDir vs Baseline, read/write split, normalized."""
     rows = []
     ratios = []
-    for app, base, widir in _pairs(
+    pairs, missing = _pairs(
         _apps_or_default(apps), num_cores, memops, _exe(executor)
-    ):
+    )
+    for app, base, widir in pairs:
         reference = base.mpki or 1.0
         ratio = widir.mpki / reference if base.mpki else 1.0
         ratios.append(ratio)
@@ -164,7 +215,7 @@ def figure6_mpki(
         rows,
         title="Figure 6: L1 MPKI normalized to Baseline",
     )
-    return FigureResult("fig6", ["app", "ratio"], rows, text)
+    return FigureResult("fig6", ["app", "ratio"], rows, text, missing=missing)
 
 
 # --------------------------------------------------------------- Figure 7
@@ -178,9 +229,10 @@ def figure7_memory_latency(
     """Figure 7: total memory-operation latency, load/store split, normalized."""
     rows = []
     ratios = []
-    for app, base, widir in _pairs(
+    pairs, missing = _pairs(
         _apps_or_default(apps), num_cores, memops, _exe(executor)
-    ):
+    )
+    for app, base, widir in pairs:
         reference = base.total_memory_latency or 1
         ratio = widir.total_memory_latency / reference
         ratios.append(ratio)
@@ -200,7 +252,7 @@ def figure7_memory_latency(
         rows,
         title="Figure 7: memory latency normalized to Baseline",
     )
-    return FigureResult("fig7", ["app", "ratio"], rows, text)
+    return FigureResult("fig7", ["app", "ratio"], rows, text, missing=missing)
 
 
 # ---------------------------------------------------------------- Table V
@@ -218,8 +270,11 @@ def table5_hop_distribution(
     for app in apps:
         plan.add(app, baseline_config(num_cores=num_cores), memops)
     results = _exe(executor).map_runs(plan)
+    missing = [app for app, result in zip(apps, results) if result is None]
     totals = {b: 0 for b in bins}
     for result in results:
+        if result is None:
+            continue
         for b in bins:
             totals[b] += result.hop_histogram.get(b, 0)
     grand = sum(totals.values()) or 1
@@ -229,7 +284,7 @@ def table5_hop_distribution(
         rows,
         title="Table V: wired-mesh hop distribution (Baseline, 64 cores)",
     )
-    return FigureResult("table5", ["bin", "fraction"], rows, text)
+    return FigureResult("table5", ["bin", "fraction"], rows, text, missing=missing)
 
 
 # --------------------------------------------------------------- Figure 8
@@ -256,9 +311,13 @@ def figure8_execution_time(
     for cores in core_counts:
         rows = []
         ratios = []
+        missing = []
         for app in apps:
             b, w = indices[(cores, app)]
             base, widir = all_results[b], all_results[w]
+            if base is None or widir is None:
+                missing.append(f"{app}@{cores}c")
+                continue
             reference = base.cycles or 1
             ratio = widir.cycles / reference
             ratios.append(ratio)
@@ -291,7 +350,9 @@ def figure8_execution_time(
             rows,
             title=f"Figure 8 ({cores} cores): execution time normalized to Baseline",
         )
-        results[cores] = FigureResult(f"fig8_{cores}", ["app", "ratio"], rows, text)
+        results[cores] = FigureResult(
+            f"fig8_{cores}", ["app", "ratio"], rows, text, missing=missing
+        )
     return results
 
 
@@ -307,9 +368,10 @@ def figure9_energy(
     rows = []
     ratios = []
     wnoc_shares = []
-    for app, base, widir in _pairs(
+    pairs, missing = _pairs(
         _apps_or_default(apps), num_cores, memops, _exe(executor)
-    ):
+    )
+    for app, base, widir in pairs:
         reference = base.energy.total or 1.0
         ratio = widir.energy.total / reference
         ratios.append(ratio)
@@ -337,7 +399,7 @@ def figure9_energy(
         rows,
         title="Figure 9: energy normalized to Baseline",
     )
-    result = FigureResult("fig9", ["app", "ratio"], rows, text)
+    result = FigureResult("fig9", ["app", "ratio"], rows, text, missing=missing)
     result.mean_wnoc_share = (
         sum(wnoc_shares) / len(wnoc_shares) if wnoc_shares else 0.0
     )
@@ -387,10 +449,22 @@ def figure10_scalability(
 
     base_times: Dict[int, List[float]] = {c: [] for c in core_counts}
     widir_times: Dict[int, List[float]] = {c: [] for c in core_counts}
-    reference = {app: all_results[i].cycles for app, i in reference_idx.items()}
+    missing = []
+    reference = {
+        app: all_results[i].cycles
+        for app, i in reference_idx.items()
+        if all_results[i] is not None
+    }
     for cores in core_counts:
         for app in apps:
             b, w = pair_idx[(cores, app)]
+            if (
+                app not in reference
+                or all_results[b] is None
+                or all_results[w] is None
+            ):
+                missing.append(f"{app}@{cores}c")
+                continue
             base_times[cores].append(reference[app] / max(1, all_results[b].cycles))
             widir_times[cores].append(reference[app] / max(1, all_results[w].cycles))
     rows = []
@@ -407,7 +481,9 @@ def figure10_scalability(
         rows,
         title="Figure 10: average speedup over 4-core Baseline",
     )
-    return FigureResult("fig10", ["cores", "base", "widir"], rows, text)
+    return FigureResult(
+        "fig10", ["cores", "base", "widir"], rows, text, missing=missing
+    )
 
 
 # ---------------------------------------------------------------- Table VI
@@ -436,13 +512,25 @@ def table6_sensitivity(
         for app in apps
     }
     all_results = _exe(executor).map_runs(plan)
-    base_cycles = {app: all_results[i].cycles for app, i in base_idx.items()}
+    base_cycles = {
+        app: all_results[i].cycles
+        for app, i in base_idx.items()
+        if all_results[i] is not None
+    }
+    missing = [
+        app for app, i in base_idx.items() if all_results[i] is None
+    ]
     rows = []
     for threshold in thresholds:
         speedups = []
         collisions = []
         for app in apps:
             widir = all_results[widir_idx[(threshold, app)]]
+            if widir is None or app not in base_cycles:
+                point = f"{app}@t{threshold}"
+                if widir is None and point not in missing:
+                    missing.append(point)
+                continue
             speedups.append(base_cycles[app] / max(1, widir.cycles))
             collisions.append(widir.collision_probability)
         rows.append(
@@ -457,4 +545,7 @@ def table6_sensitivity(
         rows,
         title="Table VI: MaxWiredSharers sensitivity (64 cores)",
     )
-    return FigureResult("table6", ["threshold", "speedup", "collisions"], rows, text)
+    return FigureResult(
+        "table6", ["threshold", "speedup", "collisions"], rows, text,
+        missing=missing,
+    )

@@ -16,6 +16,7 @@ from typing import Dict, List, Union
 
 from repro.config.presets import baseline_config, widir_config
 from repro.energy.models import EnergyBreakdown
+from repro.harness.ioutils import atomic_write_text
 from repro.harness.runner import SimulationResult
 
 _SCALAR_FIELDS = (
@@ -86,9 +87,14 @@ def result_from_dict(payload: dict) -> SimulationResult:
 def save_results(
     results: Dict[str, SimulationResult], path: Union[str, Path]
 ) -> None:
-    """Write a label -> result mapping as pretty-printed JSON."""
+    """Write a label -> result mapping as pretty-printed JSON.
+
+    The write is atomic (tmp + fsync + rename, see
+    :mod:`repro.harness.ioutils`): a crash mid-save leaves the previous
+    archive intact instead of a torn file.
+    """
     payload = {label: result_to_dict(result) for label, result in results.items()}
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
 
 
 def load_results(path: Union[str, Path]) -> Dict[str, SimulationResult]:

@@ -1,0 +1,590 @@
+"""Supervised worker pool with timeouts, heartbeats, and seeded retries.
+
+The PR-1 :class:`~repro.harness.executor.Executor` fans simulations out
+over a plain ``multiprocessing.Pool`` — fine for interactive figure runs,
+fatal for multi-hour campaigns: one worker crash, OOM kill, or hang takes
+the whole sweep with it. This module supplies the fault-tolerant execution
+layer the campaign runner (:mod:`repro.harness.campaign`) sits on:
+
+* every run executes in its **own** child process, so a crash is an
+  isolated, observable event instead of a poisoned pool;
+* children emit **heartbeats** on a pipe; the supervisor distinguishes a
+  *crashed* worker (process died), a *timed-out* worker (wall-clock budget
+  exceeded while still beating), and a *hung* worker (alive but silent);
+* failed runs are **retried** with seeded exponential backoff. The backoff
+  engine is literally the protocol's own
+  :class:`~repro.wireless.brs.BackoffPolicy` — the BRS MAC discipline the
+  paper applies to wireless collisions, applied here to harness faults —
+  driven by a :class:`~repro.engine.rng.DeterministicRng` split per run
+  key, so retry schedules are reproducible;
+* after ``max_attempts`` the run is reported as *failed* rather than
+  raising, letting the campaign layer degrade gracefully.
+
+Fault injection (:class:`ScriptedFaults`, :class:`SeededFaults`) is part of
+the public surface: the kill/resume tests and the ``campaign-smoke`` CI job
+drive the supervisor through crash/hang/stall/error schedules and assert
+the retry ladder heals them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine.rng import DeterministicRng
+from repro.harness.executor import RunRequest, _simulate
+from repro.wireless.brs import BackoffPolicy
+
+#: Fault kinds a worker can be told to exhibit (tests / smoke campaigns).
+FAULT_KINDS = ("crash", "hang", "stall", "error")
+
+#: Exit code of an intentionally crashed worker (diagnostics only).
+CRASH_EXIT_CODE = 173
+
+
+# ------------------------------------------------------------- retry policy
+
+
+class RetryPolicy:
+    """Seeded exponential-backoff retry schedule, one stream per run key.
+
+    The delay after the ``n``-th consecutive failure of a run is drawn by a
+    :class:`~repro.wireless.brs.BackoffPolicy` (uniform in a window that
+    doubles up to ``base * 2**max_exponent`` *backoff units*), from an RNG
+    stream split off ``seed`` by the run key — identical inputs always
+    yield the identical retry schedule, and no run's draws perturb
+    another's.
+
+    ``unit`` converts abstract backoff cycles into seconds; tests set it to
+    ``0`` for instant retries.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base: int = 2,
+        max_exponent: int = 5,
+        unit: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base = base
+        self.max_exponent = max_exponent
+        self.unit = unit
+        self.seed = seed
+        self._root = DeterministicRng(seed)
+        self._policies: Dict[str, BackoffPolicy] = {}
+
+    def _policy_for(self, key: str) -> BackoffPolicy:
+        policy = self._policies.get(key)
+        if policy is None:
+            policy = BackoffPolicy(
+                self.base, self.max_exponent, self._root.split(key)
+            )
+            self._policies[key] = policy
+        return policy
+
+    def delay_seconds(self, key: str, failures: int) -> float:
+        """Backoff before retry number ``failures`` of run ``key``."""
+        return self._policy_for(key).delay_for_attempt(failures) * self.unit
+
+    def describe(self) -> Dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base": self.base,
+            "max_exponent": self.max_exponent,
+            "unit": self.unit,
+            "seed": self.seed,
+        }
+
+
+# ---------------------------------------------------------- fault injection
+
+
+class ScriptedFaults:
+    """Exact fault schedule: ``{(key_prefix, attempt): kind}``.
+
+    Key prefixes let tests script faults without computing full run keys.
+    """
+
+    def __init__(self, script: Dict[Tuple[str, int], str]) -> None:
+        for (_, _), kind in script.items():
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        self.script = dict(script)
+
+    def __call__(self, key: str, attempt: int) -> Optional[str]:
+        for (prefix, when), kind in self.script.items():
+            if attempt == when and key.startswith(prefix):
+                return kind
+        return None
+
+
+class SeededFaults:
+    """Deterministic random faults, for smoke campaigns and CLI demos.
+
+    Each ``(key, attempt)`` pair draws once from a split RNG stream, so the
+    fault pattern is a pure function of ``seed`` — rerunning a campaign
+    with the same injection seed reproduces the same crashes. Faults are
+    only injected on attempts ``<= max_faulty_attempts`` so the retry
+    ladder always heals eventually.
+    """
+
+    def __init__(
+        self,
+        rates: Dict[str, float],
+        seed: int = 0,
+        max_faulty_attempts: int = 1,
+    ) -> None:
+        for kind in rates:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        self.rates = {k: float(v) for k, v in rates.items() if v > 0}
+        self.seed = seed
+        self.max_faulty_attempts = max_faulty_attempts
+        self._root = DeterministicRng(seed)
+
+    def __call__(self, key: str, attempt: int) -> Optional[str]:
+        if attempt > self.max_faulty_attempts or not self.rates:
+            return None
+        draw = self._root.split(f"{key}#{attempt}").random()
+        threshold = 0.0
+        for kind in FAULT_KINDS:  # fixed order => stable partition
+            rate = self.rates.get(kind, 0.0)
+            if rate <= 0:
+                continue
+            threshold += rate
+            if draw < threshold:
+                return kind
+        return None
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "SeededFaults":
+        """Parse a CLI spec like ``"crash=0.2,hang=0.1"``."""
+        rates: Dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, _, value = part.partition("=")
+            rates[kind.strip()] = float(value) if value else 1.0
+        return cls(rates, seed=seed)
+
+
+# -------------------------------------------------------------- worker side
+
+
+def _worker_main(
+    conn,
+    request: RunRequest,
+    fault: Optional[str],
+    heartbeat_interval: float,
+    sys_paths: List[str],
+) -> None:  # pragma: no cover - child process
+    """Child entry: heartbeat thread + one simulation (or injected fault)."""
+    import sys
+    import threading
+
+    for entry in reversed(sys_paths):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+    if fault == "crash":
+        os._exit(CRASH_EXIT_CODE)
+
+    stop = threading.Event()
+    if heartbeat_interval > 0 and fault != "stall":
+        # A "stall" fault suppresses heartbeats entirely: the supervisor
+        # must detect the silence, not the (never-arriving) result.
+        def beat() -> None:
+            while not stop.wait(heartbeat_interval):
+                try:
+                    conn.send(("hb", time.monotonic()))
+                except OSError:
+                    return
+
+        threading.Thread(target=beat, daemon=True).start()
+
+    try:
+        if fault in ("hang", "stall"):
+            time.sleep(3600.0)  # killed by the supervisor
+            return
+        if fault == "error":
+            conn.send(("err", "injected worker error"))
+            return
+        payload, elapsed = _simulate(request)
+        conn.send(("ok", payload, elapsed))
+    except BaseException as exc:  # noqa: BLE001 - report, don't die silently
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        stop.set()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------- outcomes
+
+
+@dataclass
+class AttemptRecord:
+    """One observed attempt of one run (journaled by the campaign layer)."""
+
+    attempt: int
+    status: str  #: ok | crashed | timeout | hung | error
+    detail: str = ""
+    elapsed: float = 0.0
+    backoff: float = 0.0  #: seconds slept before the *next* attempt
+
+
+@dataclass
+class RunOutcome:
+    """Terminal state of one supervised run."""
+
+    key: str
+    status: str  #: ok | failed
+    attempts: int
+    payload: Optional[Dict] = None
+    detail: str = ""
+    history: List[AttemptRecord] = field(default_factory=list)
+    sim_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class _Pending:
+    key: str
+    request: RunRequest
+    attempt: int
+    ready_at: float
+
+
+@dataclass
+class _Active:
+    key: str
+    request: RunRequest
+    attempt: int
+    process: object
+    conn: object
+    started: float
+    last_beat: float
+
+
+# --------------------------------------------------------------- supervisor
+
+
+class WorkerSupervisor:
+    """Run a batch of :class:`RunRequest` s under fault supervision.
+
+    Parameters
+    ----------
+    workers:
+        Maximum concurrently live child processes.
+    timeout:
+        Per-attempt wall-clock budget in seconds (``None`` = unlimited).
+    heartbeat_interval:
+        Cadence of child heartbeats; ``0`` disables hang detection.
+    heartbeat_grace:
+        A child silent for ``heartbeat_interval * heartbeat_grace`` seconds
+        is declared hung and killed.
+    retry:
+        :class:`RetryPolicy`; defaults to 3 attempts with seeded backoff.
+    faults:
+        Optional callable ``(key, attempt) -> fault kind or None`` applied
+        to each launch (:class:`ScriptedFaults` / :class:`SeededFaults`).
+    on_event:
+        Optional callback receiving progress dicts (``launch``, ``ok``,
+        ``retry``, ``giveup``) — the campaign layer journals these and
+        feeds the observability counters.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        heartbeat_interval: float = 0.25,
+        heartbeat_grace: float = 40.0,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[Callable[[str, int], Optional[str]]] = None,
+        on_event: Optional[Callable[[Dict], None]] = None,
+        poll_interval: float = 0.02,
+    ) -> None:
+        from repro.harness.executor import _default_workers
+
+        self.workers = (
+            _default_workers() if workers is None else max(1, int(workers))
+        )
+        self.timeout = timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_grace = heartbeat_grace
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
+        self.on_event = on_event
+        self.poll_interval = poll_interval
+
+    # ------------------------------------------------------------ plumbing
+
+    def _emit(self, event: Dict) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def _context(self):
+        import multiprocessing
+
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            return multiprocessing.get_context()
+
+    def _launch(self, ctx, item: _Pending) -> _Active:
+        import sys
+
+        fault = self.faults(item.key, item.attempt) if self.faults else None
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                item.request,
+                fault,
+                self.heartbeat_interval,
+                list(sys.path),
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        self._emit(
+            {
+                "event": "launch",
+                "key": item.key,
+                "attempt": item.attempt,
+                "fault": fault,
+            }
+        )
+        return _Active(
+            key=item.key,
+            request=item.request,
+            attempt=item.attempt,
+            process=process,
+            conn=parent_conn,
+            started=now,
+            last_beat=now,
+        )
+
+    @staticmethod
+    def _reap(active: _Active) -> None:
+        """Kill (if needed) and join a child, closing its pipe."""
+        process = active.process
+        if process.is_alive():
+            process.terminate()
+            process.join(0.5)
+        if process.is_alive():  # pragma: no cover - terminate was enough
+            process.kill()
+            process.join(0.5)
+        try:
+            active.conn.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------ main loop
+
+    def run(
+        self, todo: List[Tuple[str, RunRequest]]
+    ) -> Dict[str, RunOutcome]:
+        """Supervise ``todo`` to terminal outcomes; returns key -> outcome.
+
+        Never raises for worker-side faults: every run ends ``ok`` (with a
+        canonical payload) or ``failed`` (with its attempt history), and
+        the caller decides how to degrade.
+        """
+        from multiprocessing import connection as mp_connection
+
+        ctx = self._context()
+        outcomes: Dict[str, RunOutcome] = {}
+        history: Dict[str, List[AttemptRecord]] = {key: [] for key, _ in todo}
+        pending = deque(
+            _Pending(key, request, 1, 0.0) for key, request in todo
+        )
+
+        active: Dict[int, _Active] = {}
+
+        def finish_ok(run: _Active, payload: Dict, elapsed: float) -> None:
+            history[run.key].append(
+                AttemptRecord(run.attempt, "ok", elapsed=elapsed)
+            )
+            outcomes[run.key] = RunOutcome(
+                key=run.key,
+                status="ok",
+                attempts=run.attempt,
+                payload=payload,
+                history=history[run.key],
+                sim_seconds=elapsed,
+            )
+            self._emit(
+                {
+                    "event": "ok",
+                    "key": run.key,
+                    "attempt": run.attempt,
+                    "elapsed": elapsed,
+                }
+            )
+
+        def finish_failure(run: _Active, status: str, detail: str) -> None:
+            elapsed = time.monotonic() - run.started
+            record = AttemptRecord(run.attempt, status, detail, elapsed)
+            history[run.key].append(record)
+            if run.attempt >= self.retry.max_attempts:
+                outcomes[run.key] = RunOutcome(
+                    key=run.key,
+                    status="failed",
+                    attempts=run.attempt,
+                    detail=f"{status}: {detail}" if detail else status,
+                    history=history[run.key],
+                )
+                self._emit(
+                    {
+                        "event": "giveup",
+                        "key": run.key,
+                        "attempt": run.attempt,
+                        "status": status,
+                        "detail": detail,
+                    }
+                )
+                return
+            delay = self.retry.delay_seconds(run.key, run.attempt)
+            record.backoff = delay
+            pending.append(
+                _Pending(
+                    run.key,
+                    run.request,
+                    run.attempt + 1,
+                    time.monotonic() + delay,
+                )
+            )
+            self._emit(
+                {
+                    "event": "retry",
+                    "key": run.key,
+                    "attempt": run.attempt,
+                    "status": status,
+                    "detail": detail,
+                    "backoff": delay,
+                }
+            )
+
+        while pending or active:
+            now = time.monotonic()
+
+            # Launch every ready pending run into free slots.
+            if pending and len(active) < self.workers:
+                still_waiting = deque()
+                while pending and len(active) < self.workers:
+                    item = pending.popleft()
+                    if item.ready_at > now:
+                        still_waiting.append(item)
+                        continue
+                    run = self._launch(ctx, item)
+                    active[run.process.pid] = run
+                pending.extendleft(reversed(still_waiting))
+
+            if not active:
+                # Everything left is backing off; sleep until the earliest.
+                wake = min(item.ready_at for item in pending)
+                time.sleep(max(0.0, min(wake - now, 0.25)))
+                continue
+
+            # Wait for messages from any child (bounded poll so timeout and
+            # heartbeat checks still run when everyone is silent).
+            conns = {id(run.conn): run for run in active.values()}
+            try:
+                ready = mp_connection.wait(
+                    [run.conn for run in active.values()],
+                    timeout=self.poll_interval,
+                )
+            except OSError:  # pragma: no cover - racing child death
+                ready = []
+
+            finished: List[int] = []
+            for conn in ready:
+                run = conns[id(conn)]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Pipe closed without a result: the child crashed.
+                    run.process.join(0.5)
+                    code = run.process.exitcode
+                    self._reap(run)
+                    finished.append(run.process.pid)
+                    finish_failure(
+                        run, "crashed", f"worker exited with code {code}"
+                    )
+                    continue
+                kind = message[0]
+                if kind == "hb":
+                    run.last_beat = time.monotonic()
+                elif kind == "ok":
+                    self._reap(run)
+                    finished.append(run.process.pid)
+                    finish_ok(run, message[1], message[2])
+                elif kind == "err":
+                    self._reap(run)
+                    finished.append(run.process.pid)
+                    finish_failure(run, "error", message[1])
+            for pid in finished:
+                active.pop(pid, None)
+
+            # Enforce wall-clock and heartbeat budgets on the survivors.
+            now = time.monotonic()
+            stalled: List[int] = []
+            for pid, run in active.items():
+                if not run.process.is_alive() and not run.conn.poll():
+                    code = run.process.exitcode
+                    self._reap(run)
+                    stalled.append(pid)
+                    finish_failure(
+                        run, "crashed", f"worker exited with code {code}"
+                    )
+                    continue
+                if (
+                    self.timeout is not None
+                    and now - run.started > self.timeout
+                ):
+                    self._reap(run)
+                    stalled.append(pid)
+                    finish_failure(
+                        run,
+                        "timeout",
+                        f"exceeded {self.timeout:.1f}s wall-clock budget",
+                    )
+                    continue
+                if (
+                    self.heartbeat_interval > 0
+                    and now - run.last_beat
+                    > self.heartbeat_interval * self.heartbeat_grace
+                ):
+                    self._reap(run)
+                    stalled.append(pid)
+                    finish_failure(
+                        run,
+                        "hung",
+                        "no heartbeat for "
+                        f"{now - run.last_beat:.2f}s",
+                    )
+            for pid in stalled:
+                active.pop(pid, None)
+
+        return outcomes

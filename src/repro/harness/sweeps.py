@@ -38,13 +38,25 @@ def label_for(app: str, config: SystemConfig) -> str:
 def _run_labelled(
     grid: Sequence, executor: Optional[Executor], memops: Optional[int]
 ) -> Dict[str, SimulationResult]:
-    """Execute (label, app, config) triples as one plan; label -> result."""
+    """Execute (label, app, config) triples as one plan; label -> result.
+
+    Graceful degradation: grid points the executor cannot serve (``None``
+    from a partial :class:`~repro.harness.campaign.CampaignResultSource`)
+    are *omitted* from the returned mapping instead of aborting the sweep;
+    the campaign's provenance manifest records exactly which runs are
+    missing and why. A plain :class:`Executor` always simulates, so direct
+    sweeps never lose points.
+    """
     plan = ExperimentPlan()
     indices = [
         (label, plan.add(app, config, memops)) for label, app, config in grid
     ]
     results = _exe(executor).map_runs(plan)
-    return {label: results[index] for label, index in indices}
+    return {
+        label: results[index]
+        for label, index in indices
+        if results[index] is not None
+    }
 
 
 def sweep_protocols(
