@@ -1,0 +1,28 @@
+"""Single source of truth for benchmark-session scale knobs.
+
+Historically ``conftest.py`` hardcoded its own ``memops=2500`` default while
+the kernel microbenchmarks and the CI smoke jobs each carried their own
+copies, so the numbers recorded in ``BENCH_harness.json`` could silently
+diverge from what the figure benches actually ran. Every bench-session
+default now lives here; the environment variables (``REPRO_MEMOPS``,
+``REPRO_CORES``, ...) still override at session start.
+
+Keep this module import-light (stdlib only): it is imported by conftest
+before the package under test.
+"""
+
+#: Memory references per core per run for full benchmark sessions.
+#: Shorter runs dilute coherence effects with cold-start misses.
+BENCH_MEMOPS = 2500
+
+#: Core count for single-machine benches (the paper's 64-core machine).
+BENCH_CORES = 64
+
+#: The fig10 point the kernel end-to-end bench tracks across PRs
+#: (64-core radiosity pair; small enough to run every session).
+KERNEL_PAIR_MEMOPS = 800
+
+#: Scale knobs for sub-minute smoke benches (CI and the per-session
+#: table6 tracker): 16 cores keeps the mesh real but cheap.
+SMOKE_CORES = 16
+SMOKE_MEMOPS = 400

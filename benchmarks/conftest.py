@@ -32,6 +32,8 @@ from pathlib import Path
 
 import pytest
 
+from bench_config import BENCH_CORES, BENCH_MEMOPS
+
 #: Representative subset spanning the paper's behaviour classes: two big
 #: WiDir winners, two mid apps, two no-sharing PARSEC apps.
 DEFAULT_APPS = (
@@ -56,11 +58,11 @@ def selected_apps():
 
 
 def memops():
-    return int(os.environ.get("REPRO_MEMOPS", "2500"))
+    return int(os.environ.get("REPRO_MEMOPS", str(BENCH_MEMOPS)))
 
 
 def cores():
-    return int(os.environ.get("REPRO_CORES", "64"))
+    return int(os.environ.get("REPRO_CORES", str(BENCH_CORES)))
 
 
 def bench_workers():
@@ -107,6 +109,9 @@ _BENCH_TIMINGS = {}
 #: Free-form metrics from the kernel microbenchmarks (speedup ratios,
 #: measured wall seconds); lands under ``"kernel"`` in BENCH_harness.json.
 _KERNEL_METRICS = {}
+#: Batched-kernel A/B metrics (batched vs PR2 fast path vs seed); lands
+#: under ``"kernel_batched"``.
+_KERNEL_BATCHED_METRICS = {}
 #: Observability-overhead metrics (enabled/disabled wall ratios) from
 #: benchmarks/test_bench_obs.py; lands under ``"obs"``.
 _OBS_METRICS = {}
@@ -117,6 +122,13 @@ _SESSION_STARTED = time.time()
 def kernel_metrics():
     """Mutable dict benchmarks fill; emitted as the ``kernel`` section."""
     return _KERNEL_METRICS
+
+
+@pytest.fixture(scope="session")
+def kernel_batched_metrics():
+    """Mutable dict for the batched-kernel A/B gate; emitted as
+    ``kernel_batched``."""
+    return _KERNEL_BATCHED_METRICS
 
 
 @pytest.fixture(scope="session")
@@ -173,6 +185,8 @@ def pytest_sessionfinish(session, exitstatus):
     }
     if _KERNEL_METRICS:
         payload["kernel"] = dict(sorted(_KERNEL_METRICS.items()))
+    if _KERNEL_BATCHED_METRICS:
+        payload["kernel_batched"] = dict(sorted(_KERNEL_BATCHED_METRICS.items()))
     if _OBS_METRICS:
         payload["obs"] = dict(sorted(_OBS_METRICS.items()))
     try:

@@ -8,6 +8,8 @@ wireless opportunities (1.38x/1.31x).
 
 import os
 
+from bench_config import SMOKE_CORES, SMOKE_MEMOPS
+
 from repro.harness.figures import table6_sensitivity
 
 PAPER = {2: (1.22, 0.0693), 3: (1.43, 0.0314), 4: (1.38, 0.0224), 5: (1.31, 0.0170)}
@@ -37,4 +39,27 @@ def test_bench_table6_sensitivity(benchmark, bench_apps, bench_memops, bench_cor
     collisions = [rows[t][1] for t in sorted(rows)]
     assert all(a >= b - 0.02 for a, b in zip(collisions, collisions[1:])), (
         f"collisions should fall with higher thresholds: {collisions}"
+    )
+
+
+def test_bench_table6_smoke(benchmark):
+    """Tracked-per-session smoke point for table6 (the second-slowest
+    figure): two thresholds at smoke scale, so BENCH_harness.json records
+    a table6 trend line every session without paying the full sweep."""
+    figure = benchmark.pedantic(
+        table6_sensitivity,
+        kwargs=dict(
+            apps=("radiosity", "ocean-nc"),
+            thresholds=(2, 3),
+            num_cores=SMOKE_CORES,
+            memops=SMOKE_MEMOPS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row[0]: (row[1], row[2]) for row in figure.rows}
+    assert set(rows) == {2, 3}
+    # Same central trade-off as the full sweep, at smoke scale.
+    assert rows[2][1] >= rows[3][1] - 0.02, (
+        f"collisions should not rise with a higher threshold: {rows}"
     )

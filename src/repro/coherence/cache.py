@@ -169,10 +169,63 @@ class CacheController:
             return
         self._miss(line, False, False, lambda: self._do_load(address, on_done))
 
+    def load_probe(self, address: int) -> Optional[int]:
+        """Counter-bumping L1 read-hit probe for the core's load fast path.
+
+        On an L1 read hit, applies exactly the hit side effects of
+        :meth:`load` (access counters, LRU touch, W-state update-count
+        reset) and returns the word — *without* scheduling the completion.
+        The core schedules its own wake-up at the L1 round trip, saving a
+        closure and a completion cell per hit. Returns None on a miss, in
+        which case the caller must follow with :meth:`load_miss` (the
+        counters are already bumped).
+        """
+        self._loads_counter.value += 1
+        self._accesses_counter.value += 1
+        entry = self.array.lookup(address >> self._line_shift)
+        if entry is not None and entry.state in READABLE_STATES:
+            if entry.state == WIRELESS:
+                entry.update_count = 0
+            word = (address & self._offset_mask) >> self._word_shift
+            return entry.data.get(word, 0)
+        return None
+
+    def load_miss(self, address: int, on_done: Callable[[int], None]) -> None:
+        """Miss leg of the :meth:`load_probe` pair (counters already bumped)."""
+        line = address >> self._line_shift
+        self._miss(line, False, False, lambda: self._do_load(address, on_done))
+
     def store(self, address: int, value: int, on_done: Callable[[], None]) -> None:
         """Write a word; ``on_done()`` fires when the store is performed."""
         self._stores_counter.value += 1
         self._accesses_counter.value += 1
+        self._do_store(address, value, on_done)
+
+    def store_probe(self, address: int, value: int) -> bool:
+        """Counter-bumping M/E write-hit probe for the core's store fast path.
+
+        On an M/E hit the store is performed immediately (state to M, dirty
+        set, word written — exactly what the head of :meth:`_do_store`
+        does) and True is returned; the core schedules its own completion
+        at the L1 round trip. Returns False on any other state, in which
+        case the caller must follow with :meth:`store_miss`.
+        """
+        self._stores_counter.value += 1
+        self._accesses_counter.value += 1
+        entry = self.array.lookup(address >> self._line_shift)
+        if entry is not None and entry.state in (MODIFIED, EXCLUSIVE):
+            entry.state = MODIFIED
+            entry.dirty = True
+            entry.data[(address & self._offset_mask) >> self._word_shift] = value
+            return True
+        return False
+
+    def store_miss(
+        self, address: int, value: int, on_done: Callable[[], None]
+    ) -> None:
+        """Non-M/E leg of the :meth:`store_probe` pair (W, S, and miss
+        paths; counters already bumped). Re-enters :meth:`_do_store`, whose
+        M/E head cannot match — the probe just ruled it out this cycle."""
         self._do_store(address, value, on_done)
 
     def rmw(self, address: int, on_done: Callable[[int], None]) -> None:

@@ -144,6 +144,20 @@ class DirectoryController:
             Message.acquire(kind, self.node, dst, line, payload), extra_delay=delay
         )
 
+    def _send_inv_fanout(self, targets, line: int) -> None:
+        """Spray INVs at every target through the mesh's multicast path.
+
+        One call batches the per-message counters/route bookkeeping; the
+        delivery schedule is identical to sending the INVs one by one in
+        iteration order (see :meth:`MeshNetwork.send_multicast`).
+        """
+        self._inv_sent(len(targets))
+        node = self.node
+        self.noc.send_multicast(
+            [Message.acquire(mk.INV_ID, node, target, line) for target in targets],
+            extra_delay=1,
+        )
+
     def _note_pointer_overflow(self, entry: DirectoryEntry) -> None:
         """Record that the sharer set no longer fits the limited pointers.
 
@@ -360,9 +374,7 @@ class DirectoryController:
             obs.dir_open(self.node, entry.line, "inv_collect")
         if entry.broadcast:
             self._bcast_invs()
-        self._inv_sent(len(targets))
-        for target in targets:
-            self._send(mk.INV_ID, target, entry.line)
+        self._send_inv_fanout(targets, entry.line)
 
     def _finish_inv_collect(self, entry: DirectoryEntry) -> None:
         transaction = entry.transaction
@@ -832,9 +844,7 @@ class DirectoryController:
             if not targets:
                 self._finish_recall(entry)
                 return
-            self._inv_sent(len(targets))
-            for target in targets:
-                self._send(mk.INV_ID, target, line)
+            self._send_inv_fanout(targets, line)
             return
         if entry.state == DIR_EXCLUSIVE:
             entry.busy = True

@@ -1,0 +1,309 @@
+"""Struct-of-arrays directory metadata: sharer bitmasks as numpy planes.
+
+The object-based :class:`~repro.coherence.directory.DirectoryArray` holds a
+:class:`~repro.coherence.directory.DirectoryEntry` per LLC-resident line,
+with the sharer set as a Python ``set``. This module keeps the directory
+*metadata* — tag, state, owner, sharer bitmask, WiDir sharer count, busy
+pin, LRU stamp — in preallocated numpy arrays indexed ``(node, set, way)``,
+the owner-bitmask idiom of the directory literature: a sharer set is one
+(or a few) 64-bit words, membership is a mask test, invalidation fan-out
+targets are a bit scan, and whole-machine sharer histograms (the paper's
+Figure 5) are a vectorized popcount.
+
+Per-line semantics mirror the object array operation for operation
+(lookup/touch, busy-pinned victim selection, insert/remove), locked by the
+hypothesis equivalence suite in ``tests/test_soa_equivalence.py``.
+:class:`DirectoryEntryView` is the thin object facade for the verify/obs
+subsystems. Transaction context (``transaction``/``deferred``/LLC data
+words) stays object-side: it is per-transaction bookkeeping with no
+vectorized consumer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.coherence.states import (
+    DIR_EXCLUSIVE,
+    DIR_INVALID,
+    DIR_SHARED,
+    DIR_WIRELESS,
+)
+from repro.engine.errors import SimulationError
+
+#: Stable state codes for the int8 directory-state plane.
+DIR_STATE_CODES = {DIR_INVALID: 0, DIR_SHARED: 1, DIR_EXCLUSIVE: 2, DIR_WIRELESS: 3}
+DIR_STATE_NAMES = {code: name for name, code in DIR_STATE_CODES.items()}
+
+NO_TAG = -1
+NO_OWNER = -1
+
+
+class DirectoryEntryView:
+    """Attribute facade over one ``(node, set, way)`` directory slot."""
+
+    __slots__ = ("_soa", "_node", "_set", "_way")
+
+    def __init__(self, soa: "DirectoryMetaSoA", node: int, set_index: int, way: int):
+        self._soa = soa
+        self._node = node
+        self._set = set_index
+        self._way = way
+
+    @property
+    def line(self) -> int:
+        return int(self._soa.tags[self._node, self._set, self._way])
+
+    @property
+    def state(self) -> str:
+        return DIR_STATE_NAMES[int(self._soa.states[self._node, self._set, self._way])]
+
+    @state.setter
+    def state(self, value: str) -> None:
+        self._soa.states[self._node, self._set, self._way] = DIR_STATE_CODES[value]
+
+    @property
+    def owner(self) -> Optional[int]:
+        raw = int(self._soa.owners[self._node, self._set, self._way])
+        return None if raw == NO_OWNER else raw
+
+    @owner.setter
+    def owner(self, value: Optional[int]) -> None:
+        self._soa.owners[self._node, self._set, self._way] = (
+            NO_OWNER if value is None else value
+        )
+
+    @property
+    def sharers(self) -> set:
+        return self._soa.sharers_of(self._node, self.line)
+
+    @property
+    def sharer_count(self) -> int:
+        return int(self._soa.sharer_counts[self._node, self._set, self._way])
+
+    @sharer_count.setter
+    def sharer_count(self, value: int) -> None:
+        self._soa.sharer_counts[self._node, self._set, self._way] = value
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._soa.busy[self._node, self._set, self._way])
+
+    @busy.setter
+    def busy(self, value: bool) -> None:
+        self._soa.busy[self._node, self._set, self._way] = bool(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DirectoryEntryView(0x{self.line:x}, {self.state}, "
+            f"owner={self.owner}, sharers={sorted(self.sharers)})"
+        )
+
+
+class DirectoryMetaSoA:
+    """Per-home-node directory metadata in ``(node, set, way)`` planes.
+
+    ``num_cores`` bounds the sharer bitmask width; masks wider than 64
+    cores span multiple uint64 words (``_n_words``), transparently to
+    every accessor.
+    """
+
+    def __init__(
+        self, num_nodes: int, num_sets: int, associativity: int, num_cores: int
+    ) -> None:
+        if num_sets <= 0 or num_sets & (num_sets - 1):
+            raise SimulationError(f"num_sets must be a power of two, got {num_sets}")
+        if associativity < 1:
+            raise SimulationError("associativity must be >= 1")
+        if num_cores < 1:
+            raise SimulationError("num_cores must be >= 1")
+        self.num_nodes = num_nodes
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self.num_cores = num_cores
+        self._mask = num_sets - 1
+        self._n_words = (num_cores + 63) // 64
+        shape = (num_nodes, num_sets, associativity)
+        self.tags = np.full(shape, NO_TAG, dtype=np.int64)
+        self.states = np.zeros(shape, dtype=np.int8)
+        self.owners = np.full(shape, NO_OWNER, dtype=np.int16)
+        #: Sharer bitmask words: bit ``c % 64`` of word ``c // 64`` set when
+        #: core ``c`` is a precise sharer.
+        self.sharer_masks = np.zeros(shape + (self._n_words,), dtype=np.uint64)
+        self.sharer_counts = np.zeros(shape, dtype=np.int16)
+        self.busy = np.zeros(shape, dtype=np.bool_)
+        self.stamps = np.zeros(shape, dtype=np.int64)
+        self._clock = 0
+        self._resident = 0
+
+    # ----------------------------------------------------------- primitives
+
+    def __len__(self) -> int:
+        return self._resident
+
+    def _way_of(self, node: int, set_index: int, line: int) -> int:
+        row = self.tags[node, set_index]
+        hits = np.nonzero(row == line)[0]
+        return int(hits[0]) if hits.size else -1
+
+    def lookup(self, node: int, line: int, touch: bool = True) -> int:
+        """Way of ``line`` at home ``node`` or -1; LRU-touch unless told not
+        to — mirroring ``DirectoryArray.lookup``."""
+        set_index = line & self._mask
+        way = self._way_of(node, set_index, line)
+        if way >= 0 and touch:
+            self._clock += 1
+            self.stamps[node, set_index, way] = self._clock
+        return way
+
+    def needs_victim(self, node: int, line: int) -> bool:
+        set_index = line & self._mask
+        row = self.tags[node, set_index]
+        return not (row == line).any() and not (row == NO_TAG).any()
+
+    def victim_for(self, node: int, line: int) -> Optional[int]:
+        """Line address of the LRU non-busy entry to evict, or None.
+
+        None is also returned when every way is busy (caller retries) —
+        the exact ``DirectoryArray.victim_for`` contract.
+        """
+        if not self.needs_victim(node, line):
+            return None
+        set_index = line & self._mask
+        idle = np.nonzero(~self.busy[node, set_index])[0]
+        if not idle.size:
+            return None
+        stamps = self.stamps[node, set_index]
+        way = int(idle[np.argmin(stamps[idle])])
+        return int(self.tags[node, set_index, way])
+
+    def insert(self, node: int, line: int) -> int:
+        set_index = line & self._mask
+        row = self.tags[node, set_index]
+        if (row == line).any():
+            raise SimulationError(f"directory entry for 0x{line:x} already present")
+        empty = np.nonzero(row == NO_TAG)[0]
+        if not empty.size:
+            raise SimulationError(
+                f"directory set full for 0x{line:x}; evict before insert"
+            )
+        way = int(empty[0])
+        self._clock += 1
+        self.tags[node, set_index, way] = line
+        self.states[node, set_index, way] = DIR_STATE_CODES[DIR_INVALID]
+        self.owners[node, set_index, way] = NO_OWNER
+        self.sharer_masks[node, set_index, way] = 0
+        self.sharer_counts[node, set_index, way] = 0
+        self.busy[node, set_index, way] = False
+        self.stamps[node, set_index, way] = self._clock
+        self._resident += 1
+        return way
+
+    def remove(self, node: int, line: int) -> None:
+        set_index = line & self._mask
+        way = self._way_of(node, set_index, line)
+        if way < 0:
+            raise SimulationError(f"directory entry for 0x{line:x} not present")
+        self.tags[node, set_index, way] = NO_TAG
+        self.states[node, set_index, way] = DIR_STATE_CODES[DIR_INVALID]
+        self.owners[node, set_index, way] = NO_OWNER
+        self.sharer_masks[node, set_index, way] = 0
+        self.sharer_counts[node, set_index, way] = 0
+        self.busy[node, set_index, way] = False
+        self._resident -= 1
+
+    # ------------------------------------------------------- sharer bitmask
+
+    def add_sharer(self, node: int, line: int, core: int) -> None:
+        set_index = line & self._mask
+        way = self._way_of(node, set_index, line)
+        if way < 0:
+            raise SimulationError(f"directory entry for 0x{line:x} not present")
+        self.sharer_masks[node, set_index, way, core >> 6] |= np.uint64(
+            1 << (core & 63)
+        )
+
+    def remove_sharer(self, node: int, line: int, core: int) -> None:
+        set_index = line & self._mask
+        way = self._way_of(node, set_index, line)
+        if way < 0:
+            raise SimulationError(f"directory entry for 0x{line:x} not present")
+        self.sharer_masks[node, set_index, way, core >> 6] &= np.uint64(
+            ~(1 << (core & 63)) & 0xFFFFFFFFFFFFFFFF
+        )
+
+    def clear_sharers(self, node: int, line: int) -> None:
+        set_index = line & self._mask
+        way = self._way_of(node, set_index, line)
+        if way < 0:
+            raise SimulationError(f"directory entry for 0x{line:x} not present")
+        self.sharer_masks[node, set_index, way] = 0
+
+    def is_sharer(self, node: int, line: int, core: int) -> bool:
+        set_index = line & self._mask
+        way = self._way_of(node, set_index, line)
+        if way < 0:
+            return False
+        word = int(self.sharer_masks[node, set_index, way, core >> 6])
+        return bool(word >> (core & 63) & 1)
+
+    def sharers_of(self, node: int, line: int) -> set:
+        """The precise sharer set, decoded from the bitmask."""
+        set_index = line & self._mask
+        way = self._way_of(node, set_index, line)
+        if way < 0:
+            return set()
+        sharers = set()
+        for word_index in range(self._n_words):
+            word = int(self.sharer_masks[node, set_index, way, word_index])
+            base = word_index << 6
+            while word:
+                low = word & -word
+                sharers.add(base + low.bit_length() - 1)
+                word ^= low
+        return sharers
+
+    def num_sharers(self, node: int, line: int) -> int:
+        """Popcount of the sharer mask (no set materialization)."""
+        set_index = line & self._mask
+        way = self._way_of(node, set_index, line)
+        if way < 0:
+            return 0
+        return sum(
+            int(self.sharer_masks[node, set_index, way, w]).bit_count()
+            for w in range(self._n_words)
+        )
+
+    # ---------------------------------------------------------------- views
+
+    def view(self, node: int, line: int) -> Optional[DirectoryEntryView]:
+        set_index = line & self._mask
+        way = self._way_of(node, set_index, line)
+        if way < 0:
+            return None
+        return DirectoryEntryView(self, node, set_index, way)
+
+    def resident_lines(self, node: int) -> List[int]:
+        tags = self.tags[node]
+        return sorted(int(t) for t in tags[tags != NO_TAG])
+
+    # ----------------------------------------------------- vectorized bulk
+
+    def sharer_histogram(self) -> dict:
+        """{sharer count: lines} across every resident precise entry —
+        the vectorized form of the paper's Figure 5 census."""
+        occupied = self.tags != NO_TAG
+        counts = np.bitwise_count(self.sharer_masks).sum(axis=-1)
+        values, freqs = np.unique(counts[occupied], return_counts=True)
+        return {int(v): int(f) for v, f in zip(values, freqs)}
+
+    def state_census(self) -> dict:
+        occupied = self.tags != NO_TAG
+        census = {}
+        for name, code in DIR_STATE_CODES.items():
+            count = int(((self.states == code) & occupied).sum())
+            if count:
+                census[name] = count
+        return census

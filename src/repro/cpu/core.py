@@ -25,7 +25,14 @@ from typing import Callable, List, Optional
 
 from repro.config.system import SystemConfig
 from repro.cpu.sync import PhaseBarrier
-from repro.cpu.trace import OP_BARRIER, OP_LOAD, OP_RMW, OP_STORE, OP_THINK, TraceOp
+from repro.cpu.trace import (
+    OP_BARRIER,
+    OP_LOAD,
+    OP_RMW,
+    OP_STORE,
+    OP_THINK,
+    TraceChunk,
+)
 from repro.engine.simulator import Simulator
 from repro.stats.collectors import Histogram, LatencyStat, StatsRegistry
 
@@ -82,7 +89,14 @@ class Core:
         self._issue_width = config.core.issue_width
         self._max_loads = config.core.max_outstanding_misses
         self._wb_capacity = config.core.write_buffer_entries
-        self._trace: List[TraceOp] = []
+        self._trace: TraceChunk = TraceChunk()
+        # Column bindings (re-bound by ``run_trace``): _step walks these.
+        self._kinds: List[str] = []
+        self._addresses: List[int] = []
+        self._values: List[int] = []
+        self._args: List[int] = []
+        self._blocking: List[bool] = []
+        self._trace_len = 0
         self._pc = 0
         self._outstanding_loads = 0
         self._wb_occupancy = 0
@@ -103,12 +117,43 @@ class Core:
         self._load_record = self.result.load_latency.record
         self._store_record = self.result.store_latency.record
         self._hist_record = self.result.latency_hist.record
+        #: L1 hit round trip — the constant latency of the probe fast
+        #: paths in ``_issue_load`` / ``_issue_store``.
+        self._hit_latency = config.l1.round_trip_cycles
+        # Probe/miss entry points, bound once. Cache stand-ins (unit-test
+        # mocks, litmus harness stubs) that predate the probe API fall back
+        # to the general closure path: the probe reports a guaranteed miss
+        # and the miss leg is the stand-in's plain load/store.
+        if hasattr(cache, "load_probe"):
+            self._load_probe = cache.load_probe
+            self._load_miss = cache.load_miss
+            self._store_probe = cache.store_probe
+            self._store_miss = cache.store_miss
+        else:
+            self._load_probe = lambda address: None
+            self._load_miss = cache.load
+            self._store_probe = lambda address, value: False
+            self._store_miss = cache.store
 
     # --------------------------------------------------------------- control
 
-    def run_trace(self, trace: List[TraceOp], on_finish=None) -> None:
-        """Begin executing ``trace``; ``on_finish(core)`` fires at completion."""
+    def run_trace(self, trace, on_finish=None) -> None:
+        """Begin executing ``trace``; ``on_finish(core)`` fires at completion.
+
+        ``trace`` is a :class:`~repro.cpu.trace.TraceChunk` (the native
+        format) or a legacy list of :class:`TraceOp`, converted once here.
+        The chunk's columns are bound to attributes so :meth:`_step` walks
+        flat scalar lists with no per-op object in sight.
+        """
+        if not isinstance(trace, TraceChunk):
+            trace = TraceChunk.from_ops(trace)
         self._trace = trace
+        self._kinds = trace.kinds
+        self._addresses = trace.addresses
+        self._values = trace.values
+        self._args = trace.args
+        self._blocking = trace.blocking
+        self._trace_len = len(trace.kinds)
         self._pc = 0
         self._finished = False
         self._on_finish = on_finish
@@ -123,18 +168,22 @@ class Core:
     def _step(self) -> None:
         """Advance through trace ops until blocked or done.
 
-        The loop hoists the trace list, its length, and the scheduler into
-        locals: this method runs once per wake-up across every core and the
-        repeated attribute walks dominated its profile.
+        The loop hoists the trace *columns* (struct-of-arrays, see
+        :class:`~repro.cpu.trace.TraceChunk`), their length, and the
+        scheduler into locals: this method runs once per wake-up across
+        every core, and both the repeated attribute walks and the per-op
+        ``TraceOp`` indexing dominated its profile. Kind strings are
+        interned constants, so each ``==`` below is a pointer compare.
         """
-        trace = self._trace
-        trace_len = len(trace)
+        kinds = self._kinds
+        addresses = self._addresses
+        trace_len = self._trace_len
         while self._pc < trace_len:
-            op = trace[self._pc]
-            kind = op.kind
+            pc = self._pc
+            kind = kinds[pc]
             if kind == OP_THINK:
-                self._pc += 1
-                arg = op.arg
+                self._pc = pc + 1
+                arg = self._args[pc]
                 self.result.instructions += arg
                 self._instr.value += arg
                 self._instr_total.value += arg
@@ -142,19 +191,19 @@ class Core:
                 self._schedule(cycles, self._step)
                 return
             if kind == OP_LOAD:
-                if not self._issue_load(op):
+                if not self._issue_load(addresses[pc], self._blocking[pc]):
                     return
                 continue
             if kind == OP_STORE:
-                if not self._issue_store(op):
+                if not self._issue_store(addresses[pc], self._values[pc]):
                     return
                 continue
             if kind == OP_RMW:
-                if not self._issue_rmw(op):
+                if not self._issue_rmw(addresses[pc]):
                     return
                 continue
             if kind == OP_BARRIER:
-                if not self._issue_barrier(op):
+                if not self._issue_barrier(self._args[pc]):
                     return
                 continue
         # Trace drained: the core retires once all memory traffic lands.
@@ -213,12 +262,32 @@ class Core:
 
     # ------------------------------------------------------------- load path
 
-    def _issue_load(self, op: TraceOp) -> bool:
+    def _issue_load(self, address: int, blocking: bool) -> bool:
         if self._outstanding_loads >= self._max_loads:
             self._block("memory", lambda: self._outstanding_loads < self._max_loads)
             return False
         self._pc += 1
         self._count_instructions(1)
+        value = self._load_probe(address)
+        if value is not None:
+            # L1 read hit: the latency is the constant L1 round trip and
+            # the wake-up target is known now, so record at issue (latency
+            # records are order-free sums) and schedule the wake directly —
+            # no completion closure. The wake event occupies the same
+            # ``(time, seq)`` slot the general path's completion would
+            # have, so downstream event ordering is unchanged.
+            latency = self._hit_latency
+            self._load_record(latency)
+            self._hist_record(latency)
+            if blocking:
+                # The general path blocks with ``grace == hit latency`` and
+                # therefore charges zero stall for a hit; skipping the
+                # block/wake bookkeeping entirely is equivalent.
+                self._schedule(latency, self._step)
+                return False
+            self._outstanding_loads += 1
+            self._schedule(latency, self._nb_hit_done)
+            return True
         self._outstanding_loads += 1
         issued = self.sim.now
         completed = [False]  # one-slot cell: cheaper than a dict in this hot path
@@ -231,22 +300,36 @@ class Core:
             self._hist_record(latency)
             self._maybe_wake()
 
-        self.cache.load(op.address, on_done)
-        if op.blocking and not completed[0]:
+        self._load_miss(address, on_done)
+        if blocking and not completed[0]:
             grace = self.config.l1.round_trip_cycles
             self._block("memory", lambda: completed[0], grace=grace)
             return False
         return True
 
+    def _nb_hit_done(self) -> None:
+        """Completion of a non-blocking L1 hit load (latency was recorded
+        at issue): release the MLP slot and re-check any stall condition."""
+        self._outstanding_loads -= 1
+        self._maybe_wake()
+
     # ------------------------------------------------------------ store path
 
-    def _issue_store(self, op: TraceOp) -> bool:
+    def _issue_store(self, address: int, value: int) -> bool:
         if self._wb_occupancy >= self._wb_capacity:
             self._block("memory", lambda: self._wb_occupancy < self._wb_capacity)
             return False
         self._pc += 1
         self._count_instructions(1)
         self._wb_occupancy += 1
+        if self._store_probe(address, value):
+            # M/E write hit: same record-at-issue + direct wake-up pattern
+            # as the load fast path (see ``_issue_load``).
+            latency = self._hit_latency
+            self._store_record(latency)
+            self._hist_record(latency)
+            self._schedule(latency, self._st_hit_done)
+            return True
         issued = self.sim.now
 
         def on_done() -> None:
@@ -256,12 +339,18 @@ class Core:
             self._hist_record(latency)
             self._maybe_wake()
 
-        self.cache.store(op.address, op.value, on_done)
+        self._store_miss(address, value, on_done)
         return True
+
+    def _st_hit_done(self) -> None:
+        """Completion of an M/E store hit (latency recorded at issue):
+        drain the write-buffer slot and re-check any stall condition."""
+        self._wb_occupancy -= 1
+        self._maybe_wake()
 
     # -------------------------------------------------------------- RMW path
 
-    def _issue_rmw(self, op: TraceOp) -> bool:
+    def _issue_rmw(self, address: int) -> bool:
         # Atomic: per the consistency model the RMW executes only once older
         # memory operations have drained, and younger ones wait for it.
         if not self._no_outstanding():
@@ -279,7 +368,7 @@ class Core:
             self._hist_record(latency)
             self._maybe_wake()
 
-        self.cache.rmw(op.address, on_done)
+        self.cache.rmw(address, on_done)
         if not completed[0]:
             self._block("memory", lambda: completed[0])
             return False
@@ -287,7 +376,7 @@ class Core:
 
     # ---------------------------------------------------------- barrier path
 
-    def _issue_barrier(self, op: TraceOp) -> bool:
+    def _issue_barrier(self, phase: int) -> bool:
         if self.barrier is None:
             self._pc += 1
             return True
@@ -301,7 +390,7 @@ class Core:
             released[0] = True
             self._maybe_wake()
 
-        self.barrier.arrive(op.arg, on_release)
+        self.barrier.arrive(phase, on_release)
         if not released[0]:
             self._block("sync", lambda: released[0])
             return False

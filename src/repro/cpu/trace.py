@@ -1,14 +1,18 @@
 """Trace operation format shared by the workload generators and the cores.
 
-A trace is a plain list of :class:`TraceOp`. Keeping it a flat value type
-(rather than callbacks) lets the generators be tested in isolation and lets
-one trace drive both the Baseline and the WiDir machine, which is what makes
-normalized comparisons meaningful.
+A trace is either a plain list of :class:`TraceOp` or, since the batched
+kernel work, a :class:`TraceChunk` — the same operation stream stored
+struct-of-arrays (one parallel column per field) so the core's dispatch
+loop indexes flat lists instead of walking per-op objects, and so whole
+traces export to numpy in one call. Keeping traces flat value data
+(rather than callbacks) lets the generators be tested in isolation and
+lets one trace drive both the Baseline and the WiDir machine, which is
+what makes normalized comparisons meaningful.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, List, Optional, Union
 
 OP_THINK = "think"      # arg: non-memory instruction count
 OP_LOAD = "load"        # address; ``blocking`` marks use-dependent loads
@@ -67,6 +71,142 @@ def rmw(address: int) -> TraceOp:
 
 def barrier(phase: int) -> TraceOp:
     return TraceOp(OP_BARRIER, arg=phase)
+
+
+#: Stable small-integer codes for the numpy export of a chunk (the string
+#: constants stay the in-memory dispatch values — they are interned, so the
+#: core's equality tests are pointer compares).
+KIND_CODES = {OP_THINK: 0, OP_LOAD: 1, OP_STORE: 2, OP_RMW: 3, OP_BARRIER: 4}
+KIND_NAMES = {code: kind for kind, code in KIND_CODES.items()}
+
+
+class TraceChunk:
+    """A trace stored struct-of-arrays: one parallel column per op field.
+
+    The core's dispatch loop reads ``kinds[pc]`` / ``addresses[pc]`` /
+    ... directly (no per-op object, no attribute walks); tests and
+    diagnostics iterate a chunk and receive :class:`TraceOp` views built
+    on demand, so every existing trace consumer keeps working.
+
+    Columns are plain Python lists of scalars — the hot consumer is the
+    interpreter, not numpy — with :meth:`as_arrays` exporting the whole
+    chunk as numpy columns (kinds as :data:`KIND_CODES`) for vectorized
+    analysis and the batched front end.
+    """
+
+    __slots__ = ("kinds", "addresses", "values", "args", "blocking")
+
+    def __init__(self) -> None:
+        self.kinds: List[str] = []
+        self.addresses: List[int] = []
+        self.values: List[int] = []
+        self.args: List[int] = []
+        self.blocking: List[bool] = []
+
+    # -------------------------------------------------------------- builders
+
+    def append_think(self, instructions: int) -> None:
+        self.kinds.append(OP_THINK)
+        self.addresses.append(0)
+        self.values.append(0)
+        self.args.append(instructions)
+        self.blocking.append(True)
+
+    def append_load(self, address: int, blocking: bool = True) -> None:
+        self.kinds.append(OP_LOAD)
+        self.addresses.append(address)
+        self.values.append(0)
+        self.args.append(0)
+        self.blocking.append(blocking)
+
+    def append_store(self, address: int, value: int = 0) -> None:
+        self.kinds.append(OP_STORE)
+        self.addresses.append(address)
+        self.values.append(value)
+        self.args.append(0)
+        self.blocking.append(True)
+
+    def append_rmw(self, address: int) -> None:
+        self.kinds.append(OP_RMW)
+        self.addresses.append(address)
+        self.values.append(0)
+        self.args.append(0)
+        self.blocking.append(True)
+
+    def append_barrier(self, phase: int) -> None:
+        self.kinds.append(OP_BARRIER)
+        self.addresses.append(0)
+        self.values.append(0)
+        self.args.append(phase)
+        self.blocking.append(True)
+
+    def append(self, op: TraceOp) -> None:
+        """Destructure one :class:`TraceOp` into the columns."""
+        self.kinds.append(op.kind)
+        self.addresses.append(op.address)
+        self.values.append(op.value)
+        self.args.append(op.arg)
+        self.blocking.append(op.blocking)
+
+    @classmethod
+    def from_ops(cls, ops) -> "TraceChunk":
+        """Convert an iterable of :class:`TraceOp` (one pass)."""
+        chunk = cls()
+        append = chunk.append
+        for op in ops:
+            append(op)
+        return chunk
+
+    # ------------------------------------------------------------- views
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def op(self, index: int) -> TraceOp:
+        """Materialize one op as a :class:`TraceOp` view (a copy: mutating
+        it does not write back; mutate the columns directly instead)."""
+        view = TraceOp.__new__(TraceOp)
+        view.kind = self.kinds[index]
+        view.address = self.addresses[index]
+        view.value = self.values[index]
+        view.arg = self.args[index]
+        view.blocking = self.blocking[index]
+        return view
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self.op(i) for i in range(*index.indices(len(self.kinds)))]
+        return self.op(index)
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        for i in range(len(self.kinds)):
+            yield self.op(i)
+
+    def to_ops(self) -> List[TraceOp]:
+        return list(self)
+
+    def as_arrays(self):
+        """Export the chunk as numpy columns (requires numpy).
+
+        Returns a dict with ``kinds`` (int8 :data:`KIND_CODES`),
+        ``addresses``/``values``/``args`` (int64) and ``blocking`` (bool).
+        """
+        import numpy as np
+
+        codes = KIND_CODES
+        return {
+            "kinds": np.fromiter(
+                (codes[k] for k in self.kinds), dtype=np.int8, count=len(self.kinds)
+            ),
+            "addresses": np.asarray(self.addresses, dtype=np.int64),
+            "values": np.asarray(self.values, dtype=np.int64),
+            "args": np.asarray(self.args, dtype=np.int64),
+            "blocking": np.asarray(self.blocking, dtype=np.bool_),
+        }
+
+
+#: Either trace representation, accepted by ``Core.run_trace``.
+Trace = Union[List[TraceOp], TraceChunk]
 
 
 def count_instructions(trace) -> int:

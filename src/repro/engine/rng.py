@@ -121,3 +121,74 @@ class DeterministicRng:
         u = self.random()
         # Inverse CDF of geometric distribution on {1, 2, ...}.
         return max(1, int(math.ceil(math.log(1.0 - u) / math.log(1.0 - p))))
+
+    def buffered(self, block: int = 1024) -> "DeterministicRng":
+        """Return a block-refilled stream continuing from this state.
+
+        SplitMix64's state advances by a constant per draw, so draw ``i``
+        from state ``s`` is the pure function ``mix64(s + (i+1)*gamma)`` —
+        which makes precomputing a whole block of future outputs with
+        numpy bit-for-bit identical to drawing them one at a time. The
+        returned stream produces *exactly* the sequence this stream would
+        have produced, just amortizing the mix arithmetic over vectorized
+        refills. Falls back to this (scalar) stream when numpy is absent.
+        """
+        try:
+            return _BufferedRng(self._state, block)
+        except ImportError:  # no numpy: scalar stream is already correct
+            return self
+
+
+class _BufferedRng(DeterministicRng):
+    """A :class:`DeterministicRng` whose raw outputs come from vectorized
+    block refills (see :meth:`DeterministicRng.buffered`). ``_state`` sits
+    at the *end* of the refilled block; :meth:`split` backs out the
+    unconsumed draws so child streams match the scalar stream exactly."""
+
+    __slots__ = ("_block", "_buf", "_pos", "_have")
+
+    def __init__(self, state: int, block: int) -> None:
+        import numpy  # noqa: F401 - probe for availability at build time
+
+        self._state = state  # adopted, NOT re-mixed: we continue the stream
+        self._block = block
+        self._buf: list = []
+        self._pos = 0
+        self._have = 0
+
+    def _refill(self) -> None:
+        import numpy as np
+
+        n = self._block
+        steps = np.arange(1, n + 1, dtype=np.uint64)
+        z = np.uint64(self._state) + np.uint64(_GOLDEN_GAMMA) * steps
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        z ^= z >> np.uint64(31)
+        # Plain Python ints on the way out: downstream address arithmetic
+        # must not silently become numpy scalar arithmetic.
+        self._buf = z.tolist()
+        self._pos = 0
+        self._have = n
+        self._state = (self._state + n * _GOLDEN_GAMMA) & _MASK64
+
+    def next_u64(self) -> int:
+        pos = self._pos
+        if pos >= self._have:
+            self._refill()
+            pos = 0
+        self._pos = pos + 1
+        return self._buf[pos]
+
+    def random(self) -> float:
+        pos = self._pos
+        if pos >= self._have:
+            self._refill()
+            pos = 0
+        self._pos = pos + 1
+        return (self._buf[pos] >> 11) * _INV_2_53
+
+    def split(self, label: str) -> DeterministicRng:
+        pending = self._have - self._pos
+        state = (self._state - pending * _GOLDEN_GAMMA) & _MASK64
+        return DeterministicRng(_mix64(state ^ _hash_label(label)))

@@ -11,6 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional
 
+from repro.engine.batch import CohortQueue, batched_default
 from repro.engine.errors import SimulationError
 from repro.engine.events import Event, EventQueue
 from repro.engine.rng import DeterministicRng
@@ -23,10 +24,21 @@ class Simulator:
     ----------
     seed:
         Root seed from which all component RNG streams are split.
+    batched:
+        Select the event-queue kernel: True for the cohort (calendar)
+        queue of :mod:`repro.engine.batch`, False for the classic binary
+        heap, None (default) for the process-wide default
+        (:func:`repro.engine.batch.batched_default`). The two kernels
+        execute callbacks in exactly the same ``(time, seq)`` order, so
+        simulated behaviour — and therefore every golden digest — is
+        identical either way; only wall-clock differs.
     """
 
-    def __init__(self, seed: int = 0) -> None:
-        self.queue = EventQueue()
+    def __init__(self, seed: int = 0, batched: Optional[bool] = None) -> None:
+        if batched is None:
+            batched = batched_default()
+        self.batched = batched
+        self.queue = CohortQueue() if batched else EventQueue()
         self.now = 0
         self.rng = DeterministicRng(seed)
         self._events_executed = 0
@@ -57,9 +69,10 @@ class Simulator:
     def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
         """Run ``callback`` ``delay`` cycles from now (delay >= 0).
 
-        The event creation and heap push are inlined (mirroring
-        :meth:`EventQueue.schedule` exactly): scheduling is the most-called
-        operation in the kernel and the extra call frame was measurable.
+        The event creation and queue insert are inlined for both kernels
+        (mirroring :meth:`EventQueue.schedule` / :meth:`CohortQueue.schedule`
+        exactly): scheduling is the most-called operation in the kernel and
+        the extra call frame was measurable.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
@@ -73,7 +86,14 @@ class Simulator:
         event.cancelled = False
         queue._seq = seq + 1
         queue._live += 1
-        heapq.heappush(queue._heap, (time, seq, event))
+        if self.batched:
+            if time < queue._horizon:
+                queue._buckets[time & queue._mask].append(event)
+                queue._ring_live += 1
+            else:
+                heapq.heappush(queue._spill, (time, seq, event))
+        else:
+            heapq.heappush(queue._heap, (time, seq, event))
         return event
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
@@ -95,7 +115,14 @@ class Simulator:
         event.cancelled = False
         queue._seq = seq + 1
         queue._live += 1
-        heapq.heappush(queue._heap, (time, seq, event))
+        if self.batched:
+            if time < queue._horizon:
+                queue._buckets[time & queue._mask].append(event)
+                queue._ring_live += 1
+            else:
+                heapq.heappush(queue._spill, (time, seq, event))
+        else:
+            heapq.heappush(queue._heap, (time, seq, event))
         return event
 
     def stop(self) -> None:
@@ -125,6 +152,8 @@ class Simulator:
             ``max_events`` callbacks run (a runaway protocol loop otherwise
             spins forever).
         """
+        if self.batched:
+            return self._run_batched(until, max_events)
         executed_here = 0
         self._stopped = False
         queue = self.queue
@@ -181,6 +210,116 @@ class Simulator:
                 self._events_executed += 1
                 executed_here += 1
         if self.drain_hooks and not heap:
+            for hook in self.drain_hooks:
+                hook()
+        return self.now
+
+    def _run_batched(self, until: Optional[int], max_events: Optional[int]) -> int:
+        """The cohort-queue drain: same semantics as the heap loop above.
+
+        Each iteration advances the clock to the next occupied cycle and
+        drains that cycle's *entire cohort* as one list walk — including
+        events the cohort schedules for its own cycle, which append to the
+        bucket being walked and are picked up by the same pass. No heap is
+        re-entered per event; ordering is the identical ``(time, seq)``
+        total order (see :mod:`repro.engine.batch`), so simulated behaviour
+        matches the heap kernel bit for bit.
+        """
+        executed_here = 0
+        self._stopped = False
+        queue = self.queue
+        buckets = queue._buckets
+        mask = queue._mask
+        spill = queue._spill
+        heappop = heapq.heappop
+        cycle = self.now
+        half_window = queue._window >> 1
+        adv_at = queue._base + half_window
+        while not self._stopped:
+            # ---- locate the next cycle holding a live event (inline scan;
+            # ---- the method-call version lives on CohortQueue for tests).
+            if queue._ring_live:
+                limit = queue._horizon
+                while cycle < limit and not buckets[cycle & mask]:
+                    cycle += 1
+                if cycle >= limit:  # pragma: no cover - ring_live guards this
+                    queue.advance_base(cycle)
+                    adv_at = cycle + half_window
+                    continue
+            else:
+                while spill and spill[0][2].cancelled:
+                    heappop(spill)
+                    queue._live -= 1
+                if not spill:
+                    break  # fully drained; the clock stays, like the heap path
+                cycle = spill[0][0]
+                queue.advance_base(cycle)
+                adv_at = cycle + half_window
+                continue  # spill pulled into the ring; rescan from its cycle
+            bucket = buckets[cycle & mask]
+            # Tombstone-only cohorts must not advance the clock (the heap
+            # path pops dead heads before reading ``now``): reclaim and move
+            # on without touching ``self.now``.
+            live_at = -1
+            for i, event in enumerate(bucket):
+                if not event.cancelled:
+                    live_at = i
+                    break
+            if live_at < 0:
+                dead = len(bucket)
+                queue._live -= dead
+                queue._ring_live -= dead
+                del bucket[:]
+                continue
+            if until is not None and cycle > until:
+                self.now = until
+                break
+            if cycle >= adv_at:
+                # Re-centre the window every half-window of progress: the
+                # horizon stays >= window/2 ahead of the clock (so schedules
+                # essentially never spill) and due spill events are pulled
+                # into their buckets while the clock is still short of them
+                # (spill times always lie at/beyond the pre-advance horizon).
+                queue.advance_base(cycle)
+                adv_at = cycle + half_window
+            now = cycle
+            self.now = now
+            # ---- drain the whole cohort in one pass. The bound is re-read
+            # ---- each step so same-cycle appends made by callbacks extend
+            # ---- the current pass instead of re-entering any queue.
+            consumed = 0
+            if max_events is None:
+                while consumed < len(bucket) and not self._stopped:
+                    event = bucket[consumed]
+                    consumed += 1
+                    if event.cancelled:
+                        continue
+                    event.callback()
+                    self._events_executed += 1
+            else:
+                while consumed < len(bucket) and not self._stopped:
+                    event = bucket[consumed]
+                    consumed += 1
+                    if event.cancelled:
+                        continue
+                    if executed_here >= max_events:
+                        queue._live -= consumed
+                        queue._ring_live -= consumed
+                        del bucket[:consumed]
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "likely a livelocked protocol transaction"
+                        )
+                    event.callback()
+                    self._events_executed += 1
+                    executed_here += 1
+            queue._live -= consumed
+            queue._ring_live -= consumed
+            if consumed == len(bucket):
+                del bucket[:]
+            else:  # stopped mid-cohort: keep the unconsumed tail
+                del bucket[:consumed]
+        if self.drain_hooks and not len(queue):
             for hook in self.drain_hooks:
                 hook()
         return self.now

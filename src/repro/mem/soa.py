@@ -1,0 +1,250 @@
+"""Struct-of-arrays cache metadata: tags, states, LRU, pins as numpy planes.
+
+The object-based :class:`~repro.mem.cache_array.CacheArray` stores one
+:class:`~repro.mem.cache_array.CacheLine` per resident line; every tag
+resolution walks Python objects. This module keeps the same *metadata* in
+preallocated numpy arrays indexed ``(node, set, way)`` so whole-machine
+queries (occupancy maps, state censuses, victim scans for the batched
+kernel) are single vectorized expressions, while per-line semantics —
+lookup, true-LRU touch, pinned-way victim selection, insert/remove —
+mirror the object array operation for operation. The equivalence is
+locked by hypothesis property tests (``tests/test_soa_equivalence.py``)
+that drive both representations with identical mutation sequences.
+
+Data words stay out of the SoA plane deliberately: they are sparse dicts
+whose values only matter to functional checks, not to any vectorized
+consumer. :class:`CacheLineView` is the thin object facade over one way
+(the "existing object API kept as a view" half of the design), used by
+the verify/obs subsystems and tests that want attribute access.
+
+LRU is a monotonic stamp per way: a touch assigns the next stamp, so
+ascending stamps reproduce exactly the insertion order of the dict-based
+array (delete + re-insert moves a key to the end; here it takes the
+newest stamp). The victim is the stamp-minimal unpinned way — the same
+line the object array's "first unpinned in iteration order" picks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.coherence.states import EXCLUSIVE, INVALID, MODIFIED, SHARED, WIRELESS
+from repro.engine.errors import SimulationError
+
+#: Stable state codes for the int8 state plane (shared with the directory
+#: SoA; directory states reuse the same letters).
+STATE_CODES = {INVALID: 0, SHARED: 1, EXCLUSIVE: 2, MODIFIED: 3, WIRELESS: 4}
+STATE_NAMES = {code: name for name, code in STATE_CODES.items()}
+
+#: Tag value marking an empty way.
+NO_TAG = -1
+
+
+class CacheLineView:
+    """Attribute facade over one ``(node, set, way)`` slot of the SoA.
+
+    Reads and writes go straight to the arrays — the view carries no
+    state of its own, so any number of views of the same slot agree.
+    """
+
+    __slots__ = ("_soa", "_node", "_set", "_way")
+
+    def __init__(self, soa: "CacheMetaSoA", node: int, set_index: int, way: int):
+        self._soa = soa
+        self._node = node
+        self._set = set_index
+        self._way = way
+
+    @property
+    def line(self) -> int:
+        return int(self._soa.tags[self._node, self._set, self._way])
+
+    @property
+    def state(self) -> str:
+        return STATE_NAMES[int(self._soa.states[self._node, self._set, self._way])]
+
+    @state.setter
+    def state(self, value: str) -> None:
+        self._soa.states[self._node, self._set, self._way] = STATE_CODES[value]
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._soa.dirty[self._node, self._set, self._way])
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        self._soa.dirty[self._node, self._set, self._way] = bool(value)
+
+    @property
+    def update_count(self) -> int:
+        return int(self._soa.update_counts[self._node, self._set, self._way])
+
+    @update_count.setter
+    def update_count(self, value: int) -> None:
+        self._soa.update_counts[self._node, self._set, self._way] = value
+
+    @property
+    def pinned(self) -> int:
+        return int(self._soa.pins[self._node, self._set, self._way])
+
+    @pinned.setter
+    def pinned(self, value: int) -> None:
+        self._soa.pins[self._node, self._set, self._way] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = "D" if self.dirty else "-"
+        return f"CacheLineView(0x{self.line:x}, {self.state}{flag})"
+
+
+class CacheMetaSoA:
+    """Per-node set-associative cache metadata in ``(node, set, way)`` planes.
+
+    Semantics mirror :class:`~repro.mem.cache_array.CacheArray`: true-LRU
+    via stamps, pinned ways skipped during victim selection, explicit
+    insert-after-evict discipline.
+    """
+
+    def __init__(self, num_nodes: int, num_sets: int, associativity: int) -> None:
+        if num_sets <= 0 or num_sets & (num_sets - 1):
+            raise SimulationError(f"num_sets must be a power of two, got {num_sets}")
+        if associativity < 1:
+            raise SimulationError("associativity must be >= 1")
+        if num_nodes < 1:
+            raise SimulationError("num_nodes must be >= 1")
+        self.num_nodes = num_nodes
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self._mask = num_sets - 1
+        shape = (num_nodes, num_sets, associativity)
+        self.tags = np.full(shape, NO_TAG, dtype=np.int64)
+        self.states = np.zeros(shape, dtype=np.int8)
+        self.dirty = np.zeros(shape, dtype=np.bool_)
+        self.update_counts = np.zeros(shape, dtype=np.int16)
+        self.pins = np.zeros(shape, dtype=np.int16)
+        #: LRU stamps; valid only where ``tags != NO_TAG``. Monotonic
+        #: across the whole structure (one counter suffices: only relative
+        #: order within a set matters).
+        self.stamps = np.zeros(shape, dtype=np.int64)
+        self._clock = 0
+        self._resident = 0
+
+    # ----------------------------------------------------------- primitives
+
+    def __len__(self) -> int:
+        return self._resident
+
+    def set_index(self, line: int) -> int:
+        return line & self._mask
+
+    def _way_of(self, node: int, set_index: int, line: int) -> int:
+        row = self.tags[node, set_index]
+        hits = np.nonzero(row == line)[0]
+        return int(hits[0]) if hits.size else -1
+
+    def lookup(self, node: int, line: int, touch: bool = True) -> int:
+        """Way index of ``line`` in its set at ``node``, or -1; LRU-touches
+        the way unless ``touch=False`` (matching ``CacheArray.lookup``)."""
+        set_index = line & self._mask
+        way = self._way_of(node, set_index, line)
+        if way >= 0 and touch:
+            self._clock += 1
+            self.stamps[node, set_index, way] = self._clock
+        return way
+
+    def contains(self, node: int, line: int) -> bool:
+        """Resident and not in I — mirrors ``line in CacheArray``."""
+        set_index = line & self._mask
+        way = self._way_of(node, set_index, line)
+        return way >= 0 and int(self.states[node, set_index, way]) != STATE_CODES[INVALID]
+
+    def set_occupancy(self, node: int, line: int) -> int:
+        return int((self.tags[node, line & self._mask] != NO_TAG).sum())
+
+    def needs_victim(self, node: int, line: int) -> bool:
+        set_index = line & self._mask
+        row = self.tags[node, set_index]
+        return not (row == line).any() and not (row == NO_TAG).any()
+
+    def victim_for(self, node: int, line: int) -> Optional[int]:
+        """Line address of the LRU unpinned way that must leave, or None.
+
+        Raises when every way is pinned — the same contract as
+        ``CacheArray.victim_for``.
+        """
+        if not self.needs_victim(node, line):
+            return None
+        set_index = line & self._mask
+        pins = self.pins[node, set_index]
+        stamps = self.stamps[node, set_index]
+        unpinned = np.nonzero(pins == 0)[0]
+        if not unpinned.size:
+            raise SimulationError("all ways pinned; cannot pick an eviction victim")
+        way = int(unpinned[np.argmin(stamps[unpinned])])
+        return int(self.tags[node, set_index, way])
+
+    def insert(self, node: int, line: int, state: str) -> int:
+        """Install ``line``; returns its way. Caller evicts a victim first."""
+        set_index = line & self._mask
+        row = self.tags[node, set_index]
+        if (row == line).any():
+            raise SimulationError(f"line 0x{line:x} already resident")
+        empty = np.nonzero(row == NO_TAG)[0]
+        if not empty.size:
+            raise SimulationError(
+                f"set for line 0x{line:x} is full; evict a victim before insert"
+            )
+        way = int(empty[0])
+        self._clock += 1
+        self.tags[node, set_index, way] = line
+        self.states[node, set_index, way] = STATE_CODES[state]
+        self.dirty[node, set_index, way] = False
+        self.update_counts[node, set_index, way] = 0
+        self.pins[node, set_index, way] = 0
+        self.stamps[node, set_index, way] = self._clock
+        self._resident += 1
+        return way
+
+    def remove(self, node: int, line: int) -> None:
+        set_index = line & self._mask
+        way = self._way_of(node, set_index, line)
+        if way < 0:
+            raise SimulationError(f"line 0x{line:x} is not resident")
+        self.tags[node, set_index, way] = NO_TAG
+        self.states[node, set_index, way] = STATE_CODES[INVALID]
+        self.dirty[node, set_index, way] = False
+        self.update_counts[node, set_index, way] = 0
+        self.pins[node, set_index, way] = 0
+        self._resident -= 1
+
+    # ---------------------------------------------------------------- views
+
+    def view(self, node: int, line: int) -> Optional[CacheLineView]:
+        """Object facade for a resident line (no LRU touch)."""
+        set_index = line & self._mask
+        way = self._way_of(node, set_index, line)
+        if way < 0:
+            return None
+        return CacheLineView(self, node, set_index, way)
+
+    def resident_lines(self, node: int) -> List[int]:
+        """Tags resident at ``node``, ascending (a vectorized census)."""
+        tags = self.tags[node]
+        return sorted(int(t) for t in tags[tags != NO_TAG])
+
+    # ----------------------------------------------------- vectorized bulk
+
+    def state_census(self) -> dict:
+        """Whole-machine {state name: resident count} in one pass."""
+        occupied = self.tags != NO_TAG
+        census = {}
+        for name, code in STATE_CODES.items():
+            count = int(((self.states == code) & occupied).sum())
+            if count:
+                census[name] = count
+        return census
+
+    def occupancy_by_node(self) -> np.ndarray:
+        """Resident lines per node as an int64 vector."""
+        return (self.tags != NO_TAG).sum(axis=(1, 2)).astype(np.int64)

@@ -174,6 +174,84 @@ class MeshNetwork:
             self._sends_until_prune = PRUNE_INTERVAL
             self._prune(now)
 
+    def send_multicast(self, messages: List[Message], extra_delay: int = 0) -> None:
+        """Inject a fan-out of messages issued back-to-back by one handler.
+
+        Timing-identical to calling :meth:`send` on each message in list
+        order — link reservations are walked sequentially per message, the
+        per-pair FIFO clamp applies, and deliveries are scheduled in the
+        same order (hence the same (time, seq) slots). What is batched is
+        the bookkeeping: counters are bumped once for the cohort, hop
+        totals and histogram bins accumulate locally, the monitor/obs
+        probes are tested once, and the prune countdown is settled after
+        the whole fan-out (pruning is semantics-preserving at any point,
+        see :meth:`_prune`). This is the vectorized path for directory
+        invalidation fan-outs, where one GetX can spray dozens of INVs.
+        """
+        count = len(messages)
+        if not count:
+            return
+        now = self.sim.now
+        monitor = self.monitor
+        obs = self.obs
+        route_cache = self._route_cache
+        pair_order = self._pair_order
+        hop_counts = self._hop_counts
+        schedule_at = self.sim.schedule_at
+        deliver = self._deliver
+        model_contention = self._model_contention
+        router_overhead = self._router_overhead
+        cycles_per_hop = self._cycles_per_hop
+        data_cycles = self.data_serialization_cycles
+        total_hops = 0
+        data_count = 0
+        for message in messages:
+            message.sent_at = now
+            if monitor is not None:
+                monitor.msg_sent(message.line)
+            if obs is not None:
+                obs.noc_send(message)
+            src = message.src
+            dst = message.dst
+            pair = (src, dst)
+            info = route_cache.get(pair)
+            if info is None:
+                info = self._pair_info(src, dst)
+            hops, route, bin_idx = info
+            total_hops += hops
+            if bin_idx >= 0:
+                hop_counts[bin_idx] += 1
+            else:  # pragma: no cover - HOP_BINS currently cover all hop counts
+                self._hop_histogram.overflow += 1
+            carries_data = message.carries_data
+            if carries_data:
+                data_count += 1
+                serialization = data_cycles
+            else:
+                serialization = 1
+            depart = now + extra_delay + router_overhead
+            if model_contention and src != dst:
+                arrival = self._traverse(route, depart, serialization)
+            else:
+                arrival = depart + hops * cycles_per_hop
+                if carries_data:
+                    arrival += data_cycles
+            floor = pair_order.get(pair, 0) + 1
+            if arrival < now:
+                arrival = now
+            if arrival < floor:
+                arrival = floor
+            pair_order[pair] = arrival
+            schedule_at(arrival, lambda message=message: deliver(message))
+        self._messages.value += count
+        self._total_hops.value += total_hops
+        if data_count:
+            self._data_messages.value += data_count
+        self._sends_until_prune -= count
+        if self._sends_until_prune <= 0:
+            self._sends_until_prune = PRUNE_INTERVAL
+            self._prune(now)
+
     def _prune(self, now: int) -> None:
         """Drop stale reservation/ordering entries (unbounded in the seed).
 

@@ -255,18 +255,14 @@ class WirelessDataChannel:
 
         config = self.config
         header = config.preamble_cycles + config.collision_detect_cycles
-        for request in contenders:
-            self._attempts.add()
+        self._attempts.add(len(contenders))
 
         if len(contenders) > 1:
             # Simultaneous preambles: all discover the collision and back off.
             self._collisions.add(len(contenders))
             self._busy_until = now + header
             self._busy_cycles.add(header)
-            for request in contenders:
-                if obs is not None:
-                    obs.frame_phase(request, "collision")
-                self._back_off(request)
+            self._back_off_cohort(contenders, header, obs)
             self._schedule_arbitration(self._busy_until)
             return
 
@@ -295,6 +291,28 @@ class WirelessDataChannel:
         self.sim.schedule_at(self._busy_until, lambda: self._finish(request))
         if self._pending:
             self._schedule_arbitration(self._busy_until)
+
+    def _back_off_cohort(self, requests, header: int, obs) -> None:
+        """Back off a whole collision cohort with batched bookkeeping.
+
+        Per-request behaviour (failure bump, per-node RNG draw, obs events
+        in collision→backoff order) is identical to calling
+        :meth:`_back_off` on each request; the header constant, backoff
+        table, and clock are fetched once for the cohort instead of per
+        loser.
+        """
+        now = self.sim.now
+        backoff = self._backoff
+        num_nodes = self.num_nodes
+        for request in requests:
+            if obs is not None:
+                obs.frame_phase(request, "collision")
+            request.failures += 1
+            policy = backoff[request.frame.src % num_nodes]
+            delay = policy.delay_for_attempt(request.failures)
+            if obs is not None:
+                obs.frame_phase(request, "backoff")
+            request.ready_time = now + header + delay
 
     def _back_off(self, request: TransmitRequest) -> None:
         request.failures += 1

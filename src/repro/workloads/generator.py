@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List, Tuple
 
-from repro.cpu.trace import TraceOp
+from repro.cpu.trace import OP_LOAD, TraceChunk, TraceOp
 from repro.engine.rng import DeterministicRng
 from repro.workloads.layout import AddressLayout
 from repro.workloads.patterns import (
@@ -51,9 +51,16 @@ def build_core_trace(
     num_cores: int,
     memops: int,
     seed: int = 0,
-) -> List[TraceOp]:
-    """Synthesize one core's trace with ``memops`` memory-reference slots."""
-    rng = DeterministicRng(seed).split(f"{profile.name}-core{core}")
+) -> TraceChunk:
+    """Synthesize one core's trace with ``memops`` memory-reference slots.
+
+    Returns a struct-of-arrays :class:`~repro.cpu.trace.TraceChunk` (the
+    batched front end's native format; iterating it yields the same
+    :class:`TraceOp` stream lists used to hold). The RNG is the buffered
+    (vectorized-refill) stream, which produces bit-for-bit the draws of
+    the scalar stream — traces are unchanged from the list-based builder.
+    """
+    rng = DeterministicRng(seed).split(f"{profile.name}-core{core}").buffered()
     layout = AddressLayout(num_cores)
     ops: List[TraceOp] = []
     think_mean = max(1, round((1.0 - profile.mem_ratio) / max(profile.mem_ratio, 1e-6)))
@@ -121,25 +128,32 @@ def build_core_trace(
                     )
         emit_barrier_episode(ops, layout, phase, profile.barrier_spin_reads)
 
-    _apply_blocking_fractions(ops, rng, profile.load_block_fraction)
-    return ops
+    chunk = TraceChunk.from_ops(ops)
+    _apply_blocking_fractions(chunk, rng, profile.load_block_fraction)
+    return chunk
 
 
 def _apply_blocking_fractions(
-    ops: List[TraceOp], rng: DeterministicRng, block_fraction: float
+    chunk: TraceChunk, rng: DeterministicRng, block_fraction: float
 ) -> None:
     """Mark the profile's fraction of *private* loads as use-dependent.
 
     Shared-data, lock, and barrier loads stay blocking unconditionally:
     reads of shared structures feed immediate uses (pointer dereferences,
     flag tests), which is precisely why the paper's coherence misses sit on
-    the critical path.
+    the critical path. Operates on the chunk columns in place; the rng
+    draws occur in trace order, one per eligible private load — the exact
+    sequence the per-op loop drew.
     """
     from repro.workloads.layout import SHARED_BASE
 
-    for op in ops:
-        if op.kind == "load" and op.blocking and op.address < SHARED_BASE:
-            op.blocking = rng.random() < block_fraction
+    kinds = chunk.kinds
+    addresses = chunk.addresses
+    blocking = chunk.blocking
+    rng_random = rng.random
+    for i, kind in enumerate(kinds):
+        if kind == OP_LOAD and blocking[i] and addresses[i] < SHARED_BASE:
+            blocking[i] = rng_random() < block_fraction
 
 
 #: Memoized machine traces. ``build_traces`` is pure and the harness calls
@@ -148,7 +162,7 @@ def _apply_blocking_fractions(
 #: the seed. :class:`~repro.workloads.profiles.AppProfile` is a frozen
 #: dataclass, so the argument tuple is hashable; exotic unhashable profiles
 #: (tests constructing ad-hoc objects) skip the cache.
-_TRACE_CACHE: "OrderedDict[Tuple, List[List[TraceOp]]]" = OrderedDict()
+_TRACE_CACHE: "OrderedDict[Tuple, List[TraceChunk]]" = OrderedDict()
 _TRACE_CACHE_CAP = 8
 
 
@@ -157,13 +171,13 @@ def build_traces(
     num_cores: int,
     memops_per_core: int,
     seed: int = 0,
-) -> List[List[TraceOp]]:
-    """Build the whole machine's traces (one list per core).
+) -> List[TraceChunk]:
+    """Build the whole machine's traces (one chunk per core).
 
     Results are memoized on the (pure) argument tuple. Cached hits return
-    fresh *outer and per-core lists* so callers may slice or extend them,
-    while the :class:`TraceOp` objects are shared — the cores consume them
-    strictly read-only (``blocking`` is finalized at synthesis time).
+    a fresh *outer list*; the :class:`~repro.cpu.trace.TraceChunk` objects
+    themselves are shared — the cores consume them strictly read-only
+    (``blocking`` is finalized at synthesis time).
     """
     try:
         key = (profile, num_cores, memops_per_core, seed)
@@ -173,7 +187,7 @@ def build_traces(
         cached = None
     if cached is not None:
         _TRACE_CACHE.move_to_end(key)
-        return [list(trace) for trace in cached]
+        return list(cached)
     traces = [
         build_core_trace(profile, core, num_cores, memops_per_core, seed)
         for core in range(num_cores)
@@ -182,5 +196,5 @@ def build_traces(
         _TRACE_CACHE[key] = traces
         if len(_TRACE_CACHE) > _TRACE_CACHE_CAP:
             _TRACE_CACHE.popitem(last=False)
-        return [list(trace) for trace in traces]
+        return list(traces)
     return traces

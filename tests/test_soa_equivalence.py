@@ -1,0 +1,304 @@
+"""SoA ↔ object-array equivalence property tests.
+
+The batched-kernel work mirrors the cache and directory metadata into
+struct-of-arrays numpy planes (``repro.mem.soa``, ``repro.coherence
+.dir_soa``). These tests drive the object arrays and the SoA planes with
+*identical* randomized mutation sequences and assert the observable
+behaviour matches step for step: lookup hits, LRU eviction victims,
+pinned/busy skipping, sharer sets, states, and final residency censuses.
+Any semantic drift between the two representations fails here before it
+can corrupt a vectorized consumer.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence.directory import DirectoryArray
+from repro.coherence.dir_soa import DirectoryMetaSoA
+from repro.coherence.states import (
+    DIR_EXCLUSIVE,
+    DIR_SHARED,
+    DIR_WIRELESS,
+    EXCLUSIVE,
+    MODIFIED,
+    SHARED,
+    WIRELESS,
+)
+from repro.mem.cache_array import CacheArray
+from repro.mem.soa import CacheMetaSoA
+
+NUM_SETS = 4
+ASSOC = 2
+NUM_NODES = 2
+#: Small line universe so sets collide and evictions actually happen.
+LINES = list(range(24))
+CACHE_STATES = [MODIFIED, EXCLUSIVE, SHARED, WIRELESS]
+
+cache_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("lookup"), st.sampled_from(LINES), st.booleans()),
+        st.tuples(st.just("insert"), st.sampled_from(LINES), st.sampled_from(CACHE_STATES)),
+        st.tuples(st.just("remove"), st.sampled_from(LINES)),
+        st.tuples(st.just("pin"), st.sampled_from(LINES)),
+        st.tuples(st.just("unpin"), st.sampled_from(LINES)),
+        st.tuples(st.just("set_state"), st.sampled_from(LINES), st.sampled_from(CACHE_STATES)),
+        st.tuples(st.just("set_dirty"), st.sampled_from(LINES)),
+        st.tuples(st.just("bump_update"), st.sampled_from(LINES)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _cache_census(obj: CacheArray):
+    return sorted(
+        (e.line, e.state, e.dirty, e.update_count, e.pinned) for e in obj.lines()
+    )
+
+
+def _soa_census(soa: CacheMetaSoA, node: int):
+    rows = []
+    for line in soa.resident_lines(node):
+        v = soa.view(node, line)
+        rows.append((v.line, v.state, v.dirty, v.update_count, v.pinned))
+    return sorted(rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=cache_ops, node=st.integers(0, NUM_NODES - 1))
+def test_property_cache_soa_matches_object_array(ops, node):
+    """Identical mutation sequences produce identical caches: every lookup
+    outcome, eviction victim, and the final metadata census agree."""
+    obj = CacheArray(NUM_SETS, ASSOC)
+    soa = CacheMetaSoA(NUM_NODES, NUM_SETS, ASSOC)
+
+    for op in ops:
+        name, line = op[0], op[1]
+        obj_entry = obj.lookup(line, touch=False)
+        if name == "lookup":
+            touch = op[2]
+            hit_obj = obj.lookup(line, touch=touch) is not None
+            hit_soa = soa.lookup(node, line, touch=touch) >= 0
+            assert hit_obj == hit_soa
+        elif name == "insert":
+            state = op[2]
+            if obj_entry is not None:
+                continue  # both would raise "already resident"
+            # Victim discipline: the SoA must name the same line the
+            # object array's LRU-with-pins walk picks.
+            if obj.needs_victim(line):
+                try:
+                    victim_obj = obj.victim_for(line)
+                except Exception:
+                    victim_obj = None
+                try:
+                    victim_soa = soa.victim_for(node, line)
+                except Exception:
+                    victim_soa = None
+                assert soa.needs_victim(node, line)
+                if victim_obj is None:
+                    assert victim_soa is None
+                    continue  # all ways pinned in both: skip the insert
+                assert victim_soa == victim_obj.line
+                obj.remove(victim_obj.line)
+                soa.remove(node, victim_soa)
+            else:
+                assert not soa.needs_victim(node, line)
+            obj.insert(line, state)
+            soa.insert(node, line, state)
+        elif name == "remove":
+            if obj_entry is None:
+                continue
+            obj.remove(line)
+            soa.remove(node, line)
+        elif name == "pin":
+            if obj_entry is None:
+                continue
+            obj_entry.pinned += 1
+            view = soa.view(node, line)
+            view.pinned = view.pinned + 1
+        elif name == "unpin":
+            if obj_entry is None or not obj_entry.pinned:
+                continue
+            obj_entry.pinned -= 1
+            view = soa.view(node, line)
+            view.pinned = view.pinned - 1
+        elif name == "set_state":
+            if obj_entry is None:
+                continue
+            obj_entry.state = op[2]
+            soa.view(node, line).state = op[2]
+        elif name == "set_dirty":
+            if obj_entry is None:
+                continue
+            obj_entry.dirty = True
+            soa.view(node, line).dirty = True
+        elif name == "bump_update":
+            if obj_entry is None:
+                continue
+            obj_entry.update_count += 1
+            view = soa.view(node, line)
+            view.update_count = view.update_count + 1
+
+        assert len(obj) == sum(
+            len(soa.resident_lines(n)) for n in range(NUM_NODES) if n == node
+        )
+
+    assert _cache_census(obj) == _soa_census(soa, node)
+    # The untouched node stayed empty: SoA mutations are node-local.
+    other = (node + 1) % NUM_NODES
+    assert soa.resident_lines(other) == []
+
+
+NUM_CORES = 70  # > 64 exercises the multi-word sharer masks
+DIR_STATES = [DIR_SHARED, DIR_EXCLUSIVE, DIR_WIRELESS]
+
+dir_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("lookup"), st.sampled_from(LINES), st.booleans()),
+        st.tuples(st.just("insert"), st.sampled_from(LINES)),
+        st.tuples(st.just("remove"), st.sampled_from(LINES)),
+        st.tuples(st.just("busy"), st.sampled_from(LINES), st.booleans()),
+        st.tuples(st.just("add_sharer"), st.sampled_from(LINES), st.integers(0, NUM_CORES - 1)),
+        st.tuples(st.just("remove_sharer"), st.sampled_from(LINES), st.integers(0, NUM_CORES - 1)),
+        st.tuples(st.just("clear_sharers"), st.sampled_from(LINES)),
+        st.tuples(st.just("set_state"), st.sampled_from(LINES), st.sampled_from(DIR_STATES)),
+        st.tuples(st.just("set_owner"), st.sampled_from(LINES), st.integers(0, NUM_CORES - 1)),
+        st.tuples(st.just("bump_count"), st.sampled_from(LINES)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _dir_census(obj: DirectoryArray):
+    return sorted(
+        (
+            e.line,
+            e.state,
+            e.owner,
+            tuple(sorted(e.sharers)),
+            e.sharer_count,
+            e.busy,
+        )
+        for e in obj.entries()
+    )
+
+
+def _dir_soa_census(soa: DirectoryMetaSoA, node: int):
+    rows = []
+    for line in soa.resident_lines(node):
+        v = soa.view(node, line)
+        rows.append(
+            (v.line, v.state, v.owner, tuple(sorted(v.sharers)), v.sharer_count, v.busy)
+        )
+    return sorted(rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=dir_ops, node=st.integers(0, NUM_NODES - 1))
+def test_property_directory_soa_matches_object_array(ops, node):
+    """Sharer bitmasks, busy-pinned victim selection, and every metadata
+    field behave exactly like the object directory under random drives."""
+    obj = DirectoryArray(NUM_SETS, ASSOC)
+    soa = DirectoryMetaSoA(NUM_NODES, NUM_SETS, ASSOC, NUM_CORES)
+
+    for op in ops:
+        name, line = op[0], op[1]
+        obj_entry = obj.lookup(line, touch=False)
+        if name == "lookup":
+            touch = op[2]
+            assert (obj.lookup(line, touch=touch) is not None) == (
+                soa.lookup(node, line, touch=touch) >= 0
+            )
+        elif name == "insert":
+            if obj_entry is not None:
+                continue
+            if obj.needs_victim(line):
+                victim_obj = obj.victim_for(line)
+                victim_soa = soa.victim_for(node, line)
+                assert soa.needs_victim(node, line)
+                if victim_obj is None:  # every way busy: both decline
+                    assert victim_soa is None
+                    continue
+                assert victim_soa == victim_obj.line
+                obj.remove(victim_obj.line)
+                soa.remove(node, victim_soa)
+            else:
+                assert not soa.needs_victim(node, line)
+            obj.insert(line)
+            soa.insert(node, line)
+        elif name == "remove":
+            if obj_entry is None:
+                continue
+            obj.remove(line)
+            soa.remove(node, line)
+        elif name == "busy":
+            if obj_entry is None:
+                continue
+            obj_entry.busy = op[2]
+            soa.view(node, line).busy = op[2]
+        elif name == "add_sharer":
+            if obj_entry is None:
+                continue
+            obj_entry.sharers.add(op[2])
+            soa.add_sharer(node, line, op[2])
+            assert soa.is_sharer(node, line, op[2])
+        elif name == "remove_sharer":
+            if obj_entry is None:
+                continue
+            obj_entry.sharers.discard(op[2])
+            soa.remove_sharer(node, line, op[2])
+            assert not soa.is_sharer(node, line, op[2])
+        elif name == "clear_sharers":
+            if obj_entry is None:
+                continue
+            obj_entry.sharers.clear()
+            soa.clear_sharers(node, line)
+        elif name == "set_state":
+            if obj_entry is None:
+                continue
+            obj_entry.state = op[2]
+            soa.view(node, line).state = op[2]
+        elif name == "set_owner":
+            if obj_entry is None:
+                continue
+            obj_entry.owner = op[2]
+            soa.view(node, line).owner = op[2]
+        elif name == "bump_count":
+            if obj_entry is None:
+                continue
+            obj_entry.sharer_count += 1
+            view = soa.view(node, line)
+            view.sharer_count = view.sharer_count + 1
+
+        if obj_entry is not None and name in ("add_sharer", "remove_sharer"):
+            assert soa.sharers_of(node, line) == obj_entry.sharers
+            assert soa.num_sharers(node, line) == len(obj_entry.sharers)
+
+    assert _dir_census(obj) == _dir_soa_census(soa, node)
+
+
+def test_sharer_histogram_vectorized_popcount():
+    """The bulk histogram agrees with per-line popcounts (and exercises
+    masks above bit 63)."""
+    soa = DirectoryMetaSoA(1, NUM_SETS, ASSOC, NUM_CORES)
+    soa.insert(0, 1)
+    for core in (0, 3, 63, 64, 69):
+        soa.add_sharer(0, 1, core)
+    soa.insert(0, 2)
+    soa.add_sharer(0, 2, 7)
+    soa.insert(0, 3)
+    hist = soa.sharer_histogram()
+    assert hist == {5: 1, 1: 1, 0: 1}
+    assert soa.num_sharers(0, 1) == 5
+    assert soa.sharers_of(0, 1) == {0, 3, 63, 64, 69}
+
+
+def test_cache_state_census_matches_views():
+    soa = CacheMetaSoA(2, NUM_SETS, ASSOC)
+    soa.insert(0, 1, MODIFIED)
+    soa.insert(0, 2, SHARED)
+    soa.insert(1, 3, SHARED)
+    soa.insert(1, 7, WIRELESS)
+    assert soa.state_census() == {"M": 1, "S": 2, "W": 1}
+    assert list(soa.occupancy_by_node()) == [2, 2]
