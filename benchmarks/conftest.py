@@ -115,6 +115,17 @@ _KERNEL_BATCHED_METRICS = {}
 #: Observability-overhead metrics (enabled/disabled wall ratios) from
 #: benchmarks/test_bench_obs.py; lands under ``"obs"``.
 _OBS_METRICS = {}
+#: Distributed-campaign scaling metrics (worker-count wall-clock bars,
+#: speedup, digest identity) from benchmarks/test_bench_distributed.py;
+#: lands under ``"distributed"`` and is drift-gated in CI.
+_DISTRIBUTED_METRICS = {}
+#: Cold-cache executor metrics (cold vs warm wall seconds over a private
+#: cache dir) from benchmarks/test_bench_executor.py; lands under
+#: ``"executor_cold"``. The session-wide ``executor`` section above runs
+#: hot against the developer's persistent cache (hit rate ~1.0, executed
+#: 0), which told us nothing about execution cost — this section is the
+#: cold round that fills that blind spot.
+_EXECUTOR_COLD_METRICS = {}
 _SESSION_STARTED = time.time()
 
 
@@ -135,6 +146,20 @@ def kernel_batched_metrics():
 def obs_metrics():
     """Mutable dict the obs-overhead benchmark fills; emitted as ``obs``."""
     return _OBS_METRICS
+
+
+@pytest.fixture(scope="session")
+def distributed_metrics():
+    """Mutable dict the distributed-scaling benchmark fills; emitted as
+    ``distributed`` (CI drift-gates ``speedup_4x``)."""
+    return _DISTRIBUTED_METRICS
+
+
+@pytest.fixture(scope="session")
+def executor_cold_metrics():
+    """Mutable dict the cold-cache executor benchmark fills; emitted as
+    ``executor_cold``."""
+    return _EXECUTOR_COLD_METRICS
 
 
 def _bench_output_path():
@@ -189,6 +214,10 @@ def pytest_sessionfinish(session, exitstatus):
         payload["kernel_batched"] = dict(sorted(_KERNEL_BATCHED_METRICS.items()))
     if _OBS_METRICS:
         payload["obs"] = dict(sorted(_OBS_METRICS.items()))
+    if _DISTRIBUTED_METRICS:
+        payload["distributed"] = dict(sorted(_DISTRIBUTED_METRICS.items()))
+    if _EXECUTOR_COLD_METRICS:
+        payload["executor_cold"] = dict(sorted(_EXECUTOR_COLD_METRICS.items()))
     try:
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     except OSError:  # pragma: no cover - read-only checkout

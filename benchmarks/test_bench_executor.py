@@ -1,0 +1,78 @@
+"""Cold-cache executor benchmark.
+
+The session-wide ``executor`` section of BENCH_harness.json runs against
+the developer's persistent ``~/.cache/repro`` — after the first ever
+session it reports ``cache_hit_rate: 1.0, executed: 0``, which measures
+the memo-cache lookup path and nothing else. This bench closes that
+telemetry blind spot with a private, guaranteed-cold cache directory:
+
+* **cold round** — every run executes; records real simulation dispatch
+  cost (``executed == requested`` after dedup);
+* **warm round** — the same plan replayed against the now-populated
+  cache; records pure lookup cost and asserts a 100% hit rate.
+
+Results land under ``"executor_cold"`` in BENCH_harness.json. The shape
+assertions are intentionally loose (cold must execute, warm must not, and
+warm must be faster) — absolute seconds are machine-local color.
+"""
+
+import time
+
+from bench_config import BENCH_CORES
+
+from repro.config.presets import baseline_config, widir_config
+from repro.harness.executor import Executor, ExperimentPlan
+
+_COLD_APPS = ("radiosity", "water-spa", "blackscholes")
+_COLD_MEMOPS = 600
+
+
+def _plan(cores):
+    plan = ExperimentPlan()
+    for app in _COLD_APPS:
+        for make in (baseline_config, widir_config):
+            plan.add(app, make(num_cores=cores), _COLD_MEMOPS)
+    return plan
+
+
+def test_bench_executor_cold_cache_round(tmp_path, executor_cold_metrics):
+    cores = min(BENCH_CORES, 16)  # keep the cold round under ~10s
+    executor = Executor(
+        workers=1, cache_dir=tmp_path / "cache", use_cache=True
+    )
+
+    started = time.perf_counter()
+    cold_results = executor.map_runs(_plan(cores))
+    cold_seconds = time.perf_counter() - started
+    cold = executor.stats.as_dict()
+    assert cold["executed"] > 0, "cold round executed nothing (stale cache?)"
+    assert cold["cache_hits"] == 0
+
+    started = time.perf_counter()
+    warm_results = executor.map_runs(_plan(cores))
+    warm_seconds = time.perf_counter() - started
+    warm = executor.stats.as_dict()
+    assert warm["executed"] == cold["executed"], "warm round re-executed"
+    assert warm["cache_hits"] > 0
+    assert [r.to_dict() for r in warm_results] == [
+        r.to_dict() for r in cold_results
+    ]
+    assert warm_seconds < cold_seconds
+
+    print(
+        f"\ncold cache: {cold['executed']} runs executed in "
+        f"{cold_seconds:.2f}s; warm replay {warm_seconds:.3f}s "
+        f"({cold_seconds / max(warm_seconds, 1e-9):.0f}x)"
+    )
+    executor_cold_metrics.update(
+        {
+            "apps": len(_COLD_APPS),
+            "cores": cores,
+            "memops": _COLD_MEMOPS,
+            "runs": len(_COLD_APPS) * 2,
+            "executed": cold["executed"],
+            "cold_wall_seconds": round(cold_seconds, 3),
+            "warm_wall_seconds": round(warm_seconds, 3),
+            "warm_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 1),
+        }
+    )

@@ -179,6 +179,48 @@ class SeededFaults:
 # -------------------------------------------------------------- worker side
 
 
+def replay_sys_paths(paths: List[str]) -> None:
+    """Replay the parent's ``sys.path`` into a child process.
+
+    Fork inherits the path, spawn does not; replaying makes both work when
+    the repo runs uninstalled via ``PYTHONPATH=src``. Shared by supervisor
+    children and the distributed worker agents.
+    """
+    import sys
+
+    for entry in reversed(paths):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def start_heartbeat_thread(
+    beat: Callable[[], None],
+    interval: float,
+) -> Callable[[], None]:
+    """Run ``beat`` every ``interval`` seconds on a daemon thread.
+
+    Returns a stopper. ``beat`` raising stops the loop silently — a dead
+    transport (closed pipe / dropped socket) means the listener already
+    treats this process as gone, so there is nobody left to tell. Shared
+    by supervisor children (pipe heartbeats) and distributed worker agents
+    (RPC heartbeats over a dedicated connection).
+    """
+    import threading
+
+    stop = threading.Event()
+
+    def loop() -> None:
+        while not stop.wait(interval):
+            try:
+                beat()
+            except Exception:  # noqa: BLE001 - transport gone: listener too
+                return
+
+    if interval > 0:
+        threading.Thread(target=loop, daemon=True).start()
+    return stop.set
+
+
 def _worker_main(
     conn,
     request: RunRequest,
@@ -187,28 +229,17 @@ def _worker_main(
     sys_paths: List[str],
 ) -> None:  # pragma: no cover - child process
     """Child entry: heartbeat thread + one simulation (or injected fault)."""
-    import sys
-    import threading
-
-    for entry in reversed(sys_paths):
-        if entry not in sys.path:
-            sys.path.insert(0, entry)
+    replay_sys_paths(sys_paths)
 
     if fault == "crash":
         os._exit(CRASH_EXIT_CODE)
 
-    stop = threading.Event()
-    if heartbeat_interval > 0 and fault != "stall":
-        # A "stall" fault suppresses heartbeats entirely: the supervisor
-        # must detect the silence, not the (never-arriving) result.
-        def beat() -> None:
-            while not stop.wait(heartbeat_interval):
-                try:
-                    conn.send(("hb", time.monotonic()))
-                except OSError:
-                    return
-
-        threading.Thread(target=beat, daemon=True).start()
+    # A "stall" fault suppresses heartbeats entirely: the supervisor must
+    # detect the silence, not the (never-arriving) result.
+    stop_heartbeat = start_heartbeat_thread(
+        lambda: conn.send(("hb", time.monotonic())),
+        heartbeat_interval if fault != "stall" else 0.0,
+    )
 
     try:
         if fault in ("hang", "stall"):
@@ -225,7 +256,7 @@ def _worker_main(
         except OSError:
             pass
     finally:
-        stop.set()
+        stop_heartbeat()
         try:
             conn.close()
         except OSError:

@@ -41,6 +41,12 @@ EXPECTED_SIGNATURES = {
         "seed", "trace_seed", "workers", "cache", "timeout", "retries",
         "backoff_seed", "resume",
     ),
+    "distributed_campaign": (
+        "name", "apps", "out", "kind", "cores", "thresholds", "memops",
+        "seed", "trace_seed", "workers", "shards", "host", "port", "cache",
+        "store", "tenant", "retries", "backoff_seed", "lease_timeout",
+        "timeout",
+    ),
     "verify": (
         "campaign", "seed", "trials", "litmus", "litmus_schedules",
         "mutation",
@@ -66,7 +72,12 @@ class TestSurface:
 
     @pytest.mark.parametrize("name", sorted(EXPECTED_SIGNATURES))
     def test_non_leading_params_are_keyword_only(self, name):
-        required_keywords = {("campaign", "apps"), ("campaign", "out")}
+        required_keywords = {
+            ("campaign", "apps"),
+            ("campaign", "out"),
+            ("distributed_campaign", "apps"),
+            ("distributed_campaign", "out"),
+        }
         params = list(inspect.signature(getattr(api, name)).parameters.values())
         for param in params[1:]:
             assert param.kind is inspect.Parameter.KEYWORD_ONLY, (name, param)
@@ -87,6 +98,8 @@ class TestSurface:
             "import sys; import repro.api; "
             "heavy = [m for m in ('repro.verify.fuzz', 'repro.verify.litmus', "
             "'repro.harness.campaign', 'repro.harness.supervisor', "
+            "'repro.harness.distributed', 'repro.harness.protocol', "
+            "'repro.harness.resultstore', "
             "'repro.obs.export') if m in sys.modules]; "
             "assert not heavy, heavy"
         )

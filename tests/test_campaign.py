@@ -671,3 +671,53 @@ class TestKillResumeProperty:
             status = self._run_cli("campaign", "status", str(directory))
             assert status.returncode == 0, status.stdout
             assert "[complete]" in status.stdout
+
+    def test_distributed_sigkill_coordinator_and_worker_resumes(
+        self, tmp_path
+    ):
+        """SIGKILL a worker (chaos drill) *and* the coordinator mid-flight;
+        a distributed resume must merge the shard journals into the exact
+        single-box digest."""
+        reference = tmp_path / "reference"
+        proc = self._run_cli(*self.SPEC_ARGS, "--out", str(reference))
+        assert proc.returncode == 0, proc.stdout
+        want = (reference / "digest.txt").read_bytes()
+
+        directory = tmp_path / "distributed"
+        serve_args = [
+            "campaign", "serve",
+            "--apps", "volrend,radiosity",
+            "--cores", "8",
+            "--memops", "400",
+            "--workers", "2",
+            "--no-cache",
+            "--name", "killtest",
+            "--chaos-kill-after", "1",  # coordinator SIGKILLs one worker
+            "--out", str(directory),
+        ]
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro", *serve_args],
+            cwd=REPO_ROOT, env=self._env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        time.sleep(1.4)
+        if victim.poll() is None:
+            victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+
+        # Distributed resume: no --apps means "load the existing manifest".
+        resumed = self._run_cli(
+            "campaign", "serve", "--out", str(directory),
+            "--workers", "2", "--no-cache",
+        )
+        assert resumed.returncode == 0, resumed.stdout
+        got = (directory / "digest.txt").read_bytes()
+        assert got == want, f"distributed resume diverged:\n{resumed.stdout}"
+        assert (directory / "results.json").read_bytes() == (
+            reference / "results.json"
+        ).read_bytes()
+        assert list(iter_stale_tmp(directory)) == []
+        # The merged run is also resumable by the *single-box* engine.
+        status = self._run_cli("campaign", "status", str(directory))
+        assert status.returncode == 0, status.stdout
+        assert "[complete]" in status.stdout

@@ -1,0 +1,587 @@
+"""Distributed campaign execution tests (ISSUE 7).
+
+The contract under test: a campaign sharded across N work-stealing
+workers — local forks or remote TCP agents speaking the length-prefixed
+JSON-RPC protocol — converges to an aggregate ``results.json`` /
+``digest.txt`` that is byte-identical to a single-box execution of the
+same spec, while worker deaths, duplicate reports, throttled submissions,
+and cross-tenant store dedupe all degrade gracefully instead of
+corrupting the merge.
+"""
+
+import asyncio
+import json
+import os
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.harness.campaign import Campaign, CampaignSpec, run_campaign
+from repro.harness.distributed import (
+    COORDINATOR_NAME,
+    Coordinator,
+    DistributedError,
+    TokenBucket,
+    coordinator_endpoint,
+    live_status,
+    render_live_status,
+    run_distributed,
+)
+from repro.harness.executor import Executor
+from repro.harness.ioutils import iter_stale_tmp
+from repro.harness.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_THROTTLED,
+    ERR_UNKNOWN_METHOD,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RpcClient,
+    RpcError,
+    decode_body,
+    encode_frame,
+    parse_endpoint,
+    recv_frame,
+    send_frame,
+)
+from repro.harness.resultstore import ResultStore, ResultStoreError
+from repro.harness.supervisor import RetryPolicy, WorkerSupervisor
+from repro.obs.campaign import CampaignTelemetry
+
+APP = "volrend"
+CORES = 4
+MEMOPS = 120
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+def _spec(name="dist", **overrides):
+    defaults = dict(
+        name=name, kind="protocols", apps=(APP,), cores=(CORES,), memops=MEMOPS
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def _executor(tmp_path, tag="cache"):
+    """Isolated executor: private cache dir so tests never cross-talk."""
+    return Executor(workers=1, cache_dir=tmp_path / tag, use_cache=True)
+
+
+# ----------------------------------------------------------- wire framing
+
+
+class TestProtocolFraming:
+    def _pair(self):
+        return socket.socketpair()
+
+    def test_frame_round_trip(self):
+        left, right = self._pair()
+        try:
+            send_frame(left, {"id": 1, "method": "lease", "params": {}})
+            assert recv_frame(right) == {
+                "id": 1, "method": "lease", "params": {},
+            }
+        finally:
+            left.close()
+            right.close()
+
+    def test_frames_are_canonical_compact_json(self):
+        frame = encode_frame({"b": 1, "a": 2})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert frame[4:] == b'{"a":2,"b":1}'
+        assert length == len(frame) - 4
+
+    def test_clean_eof_between_frames_is_none(self):
+        left, right = self._pair()
+        try:
+            left.close()
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_eof_mid_frame_is_a_protocol_error(self):
+        left, right = self._pair()
+        try:
+            left.sendall(encode_frame({"x": 1})[:-3])
+            left.close()
+            with pytest.raises(ProtocolError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_announcement_is_rejected(self):
+        left, right = self._pair()
+        try:
+            left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_non_json_body_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_body(b"not json")
+        with pytest.raises(ProtocolError):
+            decode_body(b"[1, 2]")  # arrays are not valid messages
+
+    def test_parse_endpoint(self):
+        assert parse_endpoint("127.0.0.1:7471") == ("127.0.0.1", 7471)
+        for bad in ("localhost", ":7471", "host:", "host:abc"):
+            with pytest.raises(ValueError):
+                parse_endpoint(bad)
+
+
+# ----------------------------------------------------------- token bucket
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=1.0, capacity=2.0, clock=lambda: clock[0])
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=2.0, capacity=2.0, clock=lambda: clock[0])
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock[0] = 0.5  # 2 tokens/s * 0.5s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_capacity_caps_the_refill(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=100.0, capacity=1.0, clock=lambda: clock[0])
+        clock[0] = 60.0
+        assert bucket.available <= 1.0
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+
+# ----------------------------------------------------------- result store
+
+
+class TestResultStore:
+    def test_put_get_round_trip_with_fanout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.put(KEY_A, {"cycles": 7}) is True
+        assert store.get(KEY_A) == {"cycles": 7}
+        assert store.object_path(KEY_A).parent.name == "aa"
+        assert store.stats["puts"] == 1 and store.stats["hits"] == 1
+
+    def test_put_is_idempotent_and_never_rewrites(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"cycles": 7})
+        before = store.object_path(KEY_A).read_bytes()
+        assert store.put(KEY_A, {"cycles": 999}) is False
+        assert store.object_path(KEY_A).read_bytes() == before
+        assert store.stats["put_dedup"] == 1
+
+    def test_invalid_keys_are_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in ("", "abc", "Z" * 64, "../" + "a" * 61):
+            with pytest.raises(ResultStoreError):
+                store.object_path(bad)
+
+    def test_corrupt_object_is_quarantined_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"cycles": 7})
+        store.object_path(KEY_A).write_text("{torn")
+        assert store.get(KEY_A) is None
+        assert store.stats["quarantined"] == 1
+        assert not store.has(KEY_A)
+
+    def test_publish_and_referenced_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        store.put(KEY_B, {"x": 2})
+        store.publish("alice", "sweep", {"l1": KEY_A}, digest="d1")
+        store.publish("bob", "sweep", {"l1": KEY_A, "l2": KEY_B})
+        assert store.tenants() == ["alice", "bob"]
+        assert store.campaigns("alice") == ["sweep"]
+        assert store.manifest("alice", "sweep")["digest"] == "d1"
+        assert store.referenced_keys() == {KEY_A, KEY_B}
+
+    def test_manifest_names_cannot_escape_the_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for tenant in ("", "..", "a/b", ".hidden"):
+            with pytest.raises(ResultStoreError):
+                store.publish(tenant, "c", {})
+        with pytest.raises(ResultStoreError):
+            store.publish("ok", "../escape", {})
+
+    def test_gc_keeps_referenced_objects_only(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        store.put(KEY_B, {"x": 2})
+        store.publish("alice", "sweep", {"l1": KEY_A})
+        (tmp_path / "objects" / "zz.json.tmp.1").parent.mkdir(
+            parents=True, exist_ok=True
+        )
+        (tmp_path / "objects" / "zz.json.tmp.1").write_text("junk")
+        removed = store.gc()
+        assert removed == 2  # KEY_B + the tmp debris
+        assert store.has(KEY_A) and not store.has(KEY_B)
+
+    def test_describe_shape(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        description = store.describe()
+        assert description["objects"] == 1
+        assert set(description["stats"]) >= {"hits", "misses", "puts"}
+
+
+# ----------------------------------------------------- coordinator RPC
+
+
+class _CoordinatorHarness:
+    """Run a Coordinator on a background event loop so blocking
+    ``RpcClient`` calls can drive it synchronously from the test."""
+
+    def __init__(self, campaign, **kwargs):
+        self.coordinator = Coordinator(campaign, **kwargs)
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, daemon=True
+        )
+        self._thread.start()
+        self.host, self.port = asyncio.run_coroutine_threadsafe(
+            self.coordinator.start(), self.loop
+        ).result(timeout=10)
+
+    def close(self):
+        asyncio.run_coroutine_threadsafe(
+            self.coordinator.stop(), self.loop
+        ).result(timeout=10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=5)
+        self.loop.close()
+
+
+@pytest.fixture
+def harness(tmp_path):
+    campaign = Campaign.create(tmp_path / "camp", _spec())
+    instance = _CoordinatorHarness(
+        campaign,
+        executor=_executor(tmp_path),
+        runner="sleep",
+        expected_workers=1,
+        retry=RetryPolicy(max_attempts=2, unit=0.0),
+    )
+    yield instance
+    instance.close()
+
+
+def _client(harness):
+    return RpcClient(harness.host, harness.port, timeout=5.0)
+
+
+def _serve(client, name="t"):
+    return client.call(
+        "serve", worker=name, pid=os.getpid(), protocol=PROTOCOL_VERSION
+    )
+
+
+class TestCoordinatorRpc:
+    def test_serve_handshake(self, harness):
+        with _client(harness) as client:
+            hello = _serve(client)
+        assert hello["worker_id"] == "w0"
+        assert hello["campaign"] == "dist"
+        assert hello["runner"] == {"mode": "sleep", "seconds": 0.0}
+
+    def test_protocol_version_mismatch_is_rejected(self, harness):
+        with _client(harness) as client:
+            with pytest.raises(RpcError) as excinfo:
+                client.call("serve", protocol=PROTOCOL_VERSION + 1)
+        assert excinfo.value.code == ERR_BAD_REQUEST
+
+    def test_unknown_method_is_404(self, harness):
+        with _client(harness) as client:
+            with pytest.raises(RpcError) as excinfo:
+                client.call("frobnicate")
+        assert excinfo.value.code == ERR_UNKNOWN_METHOD
+
+    def test_unregistered_worker_cannot_lease(self, harness):
+        with _client(harness) as client:
+            with pytest.raises(RpcError) as excinfo:
+                client.call("lease", worker_id="nope")
+        assert excinfo.value.code == ERR_BAD_REQUEST
+
+    def test_lease_steal_result_drains_the_campaign(self, harness):
+        with _client(harness) as client:
+            worker = _serve(client)["worker_id"]
+            client.call("submit", worker_id=worker)
+            # Own shard first, then a steal from the foreign shard: 2 runs
+            # over 2 shards with 1 worker means exactly one steal.
+            first = client.call("lease", worker_id=worker)
+            assert first["kind"] == "run" and first["stolen"] is False
+            client.call(
+                "result", worker_id=worker, key=first["key"],
+                payload={"mode": "sleep", "key": first["key"]},
+            )
+            assert client.call("lease", worker_id=worker)["kind"] == "empty"
+            second = client.call("steal", worker_id=worker)
+            assert second["kind"] == "run" and second["stolen"] is True
+            reply = client.call(
+                "result", worker_id=worker, key=second["key"],
+                payload={"mode": "sleep", "key": second["key"]},
+            )
+            assert reply == {"accepted": True, "done": True}
+            status = client.call("status", worker_id=worker)
+        assert status["done"] is True
+        assert status["digest"]
+        assert sum(s["stolen"] for s in status["shards"]) == 1
+
+    def test_lease_cap_throttles_greedy_workers(self, harness):
+        with _client(harness) as client:
+            worker = _serve(client)["worker_id"]
+            client.call("submit", worker_id=worker)
+            grant = client.call("lease", worker_id=worker)
+            assert grant["kind"] == "run"
+            with pytest.raises(RpcError) as excinfo:
+                client.call("lease", worker_id=worker)
+        assert excinfo.value.code == ERR_THROTTLED
+
+    def test_duplicate_result_is_idempotent(self, harness):
+        with _client(harness) as client:
+            worker = _serve(client)["worker_id"]
+            client.call("submit", worker_id=worker)
+            grant = client.call("lease", worker_id=worker)
+            payload = {"mode": "sleep", "key": grant["key"]}
+            first = client.call(
+                "result", worker_id=worker, key=grant["key"], payload=payload
+            )
+            second = client.call(
+                "result", worker_id=worker, key=grant["key"], payload=payload
+            )
+        assert first["accepted"] is True
+        assert second["accepted"] is False
+
+    def test_fail_requeues_then_gives_up(self, harness):
+        with _client(harness) as client:
+            worker = _serve(client)["worker_id"]
+            client.call("submit", worker_id=worker)
+            grant = client.call("lease", worker_id=worker)
+            reply = client.call(
+                "fail", worker_id=worker, key=grant["key"], detail="boom"
+            )
+            assert reply == {"requeued": True, "giveup": False}
+            # max_attempts=2, unit=0: the retry is immediately leasable.
+            # Steal prefers foreign shards, so drain the other queued run
+            # first if it is granted ahead of the retried one.
+            deadline = time.monotonic() + 5.0
+            while True:
+                again = client.call("steal", worker_id=worker)
+                if again["kind"] == "run":
+                    if again["key"] == grant["key"]:
+                        break
+                    client.call(
+                        "result", worker_id=worker, key=again["key"],
+                        payload={"mode": "sleep", "key": again["key"]},
+                    )
+                    continue
+                assert time.monotonic() < deadline, "retry never re-leased"
+                time.sleep(0.05)
+            assert again["attempt"] == 2
+            reply = client.call(
+                "fail", worker_id=worker, key=grant["key"], detail="boom"
+            )
+            assert reply == {"requeued": False, "giveup": True}
+            status = client.call("status", worker_id=worker)
+        assert status["failed"] == 1
+        counters = harness.coordinator.telemetry.counters
+        assert counters["requeues.total"] == 1
+        assert counters["giveups.total"] == 1
+
+    def test_submit_is_rate_limited(self, tmp_path):
+        campaign = Campaign.create(tmp_path / "camp", _spec())
+        harness = _CoordinatorHarness(
+            campaign,
+            executor=_executor(tmp_path),
+            runner="sleep",
+            submit_rate=0.001,  # refills a token every ~17 minutes
+            submit_burst=1.0,
+        )
+        try:
+            with RpcClient(harness.host, harness.port, timeout=5.0) as client:
+                client.call("submit")
+                with pytest.raises(RpcError) as excinfo:
+                    client.call("submit")
+            assert excinfo.value.code == ERR_THROTTLED
+            counters = harness.coordinator.telemetry.counters
+            assert counters["submits.throttled"] == 1
+        finally:
+            harness.close()
+
+    def test_submit_respects_the_queue_high_water_mark(self, tmp_path):
+        campaign = Campaign.create(tmp_path / "camp", _spec())
+        harness = _CoordinatorHarness(
+            campaign,
+            executor=_executor(tmp_path),
+            runner="sleep",
+            max_queue=1,
+        )
+        try:
+            with RpcClient(harness.host, harness.port, timeout=5.0) as client:
+                client.call("submit")  # queues 2 runs: now over high water
+                with pytest.raises(RpcError) as excinfo:
+                    client.call("submit")
+            assert excinfo.value.code == ERR_THROTTLED
+        finally:
+            harness.close()
+
+    def test_submit_rejects_keys_outside_the_plan(self, harness):
+        with _client(harness) as client:
+            with pytest.raises(RpcError) as excinfo:
+                client.call("submit", keys=[KEY_A])
+        assert excinfo.value.code == ERR_BAD_REQUEST
+
+    def test_live_status_helpers(self, harness, tmp_path):
+        assert coordinator_endpoint(tmp_path / "camp") == (
+            harness.host, harness.port,
+        )
+        status = live_status(harness.host, harness.port)
+        text = render_live_status(status)
+        assert "campaign dist [live, running]" in text
+        assert "shard 0" in text
+
+    def test_rejects_unknown_runner_mode(self, tmp_path):
+        campaign = Campaign.create(tmp_path / "camp", _spec())
+        with pytest.raises(DistributedError):
+            Coordinator(campaign, runner="teleport")
+
+
+# ------------------------------------------------------------- end to end
+
+
+class TestDistributedEndToEnd:
+    def test_digest_matches_single_box_byte_for_byte(self, tmp_path):
+        spec = _spec()
+        single = run_campaign(
+            tmp_path / "single", spec,
+            supervisor=WorkerSupervisor(
+                workers=1, retry=RetryPolicy(max_attempts=2, unit=0.0)
+            ),
+            executor=_executor(tmp_path, "cache-single"),
+        )
+        telemetry = CampaignTelemetry()
+        report = run_distributed(
+            tmp_path / "dist", spec,
+            workers=2,
+            executor=_executor(tmp_path, "cache-dist"),
+            timeout=120,
+            telemetry=telemetry,
+        )
+        assert report.ok and report.completed == single.completed
+        assert report.digest == single.digest
+        single_bytes = (tmp_path / "single" / "results.json").read_bytes()
+        dist_bytes = (tmp_path / "dist" / "results.json").read_bytes()
+        assert dist_bytes == single_bytes
+        assert (tmp_path / "dist" / "digest.txt").read_bytes() == (
+            tmp_path / "single" / "digest.txt"
+        ).read_bytes()
+        # Distributed bookkeeping happened: shard journals, worker joins,
+        # no crash-unsafe debris, endpoint withdrawn after completion.
+        assert list((tmp_path / "dist").glob("journal-shard*.jsonl"))
+        assert telemetry.counters["workers.joined"] >= 1
+        assert list(iter_stale_tmp(tmp_path / "dist")) == []
+        assert not (tmp_path / "dist" / COORDINATOR_NAME).exists()
+
+        # A plain single-box resume reads the merged shard journals and
+        # agrees the campaign is already finished (nothing re-executes).
+        resumed = run_campaign(
+            tmp_path / "dist", None,
+            supervisor=WorkerSupervisor(workers=1),
+            executor=_executor(tmp_path, "cache-resume"),
+        )
+        assert resumed.digest == single.digest
+        assert (tmp_path / "dist" / "results.json").read_bytes() == single_bytes
+
+    def test_sleep_runner_is_worker_count_invariant_and_cache_isolated(
+        self, tmp_path
+    ):
+        digests = []
+        executor = _executor(tmp_path)
+        for workers in (1, 2):
+            telemetry = CampaignTelemetry()
+            report = run_distributed(
+                tmp_path / f"w{workers}", _spec(),
+                workers=workers,
+                executor=executor,
+                runner="sleep",
+                timeout=60,
+                telemetry=telemetry,
+            )
+            assert report.ok
+            digests.append(report.digest)
+            # Sleep-mode payloads must never touch the sim result cache
+            # (poisoning) nor complete from it (masquerading).
+            assert telemetry.counters["runs.cache_hits"] == 0
+        assert digests[0] == digests[1]
+        assert list((tmp_path / "cache").glob("*.json")) == []
+
+    def test_store_dedupe_across_tenants(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = _spec()
+        first = run_distributed(
+            tmp_path / "alice", spec,
+            workers=1,
+            executor=_executor(tmp_path, "cache-alice"),
+            store=store,
+            tenant="alice",
+            timeout=120,
+        )
+        assert first.ok and first.store_hits == 0
+        assert store.manifest("alice", "dist")["digest"] == first.digest
+
+        # Same matrix, different tenant, cold private cache: completes
+        # entirely from the objects plane — no worker ever runs.
+        second = run_distributed(
+            tmp_path / "bob", spec,
+            workers=1,
+            executor=_executor(tmp_path, "cache-bob"),
+            store=store,
+            tenant="bob",
+            timeout=120,
+        )
+        assert second.ok
+        assert second.store_hits == second.completed == first.completed
+        assert second.digest == first.digest
+        assert store.tenants() == ["alice", "bob"]
+        assert len(store) == first.completed
+        # Both manifests pin every object: gc removes nothing.
+        assert store.gc() == 0
+
+    def test_chaos_worker_kill_recovers_and_digest_holds(self, tmp_path):
+        # 4 runs over 2 workers: whenever a result lands, the other worker
+        # almost surely holds a lease, so the chaos trigger finds a victim.
+        spec = _spec("chaos", apps=(APP, "fft"))
+        reference = run_campaign(
+            tmp_path / "reference", spec,
+            supervisor=WorkerSupervisor(workers=1),
+            executor=_executor(tmp_path, "cache-ref"),
+        )
+        telemetry = CampaignTelemetry()
+        report = run_distributed(
+            tmp_path / "chaos", spec,
+            workers=2,
+            executor=_executor(tmp_path, "cache-chaos"),
+            retry=RetryPolicy(max_attempts=3, unit=0.0),
+            chaos_kill_after=1,
+            timeout=120,
+            telemetry=telemetry,
+        )
+        assert report.ok
+        assert report.digest == reference.digest
+        assert telemetry.counters["workers.lost"] >= 1
+        assert list(iter_stale_tmp(tmp_path / "chaos")) == []
