@@ -29,6 +29,7 @@ from repro.config import (
     SystemConfig,
     baseline_config,
     paper_config,
+    protocol_config,
     widir_config,
 )
 from repro.harness.runner import SimulationResult
@@ -48,6 +49,7 @@ __all__ = [
     "baseline_config",
     "build_traces",
     "paper_config",
+    "protocol_config",
     "run_app",
     "run_pair",
     "widir_config",

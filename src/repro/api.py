@@ -38,7 +38,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.config.presets import baseline_config, widir_config
+from repro.coherence.backend import backend_names, get_backend
+from repro.config.presets import protocol_config
 from repro.config.system import SystemConfig
 from repro.harness.executor import Executor
 from repro.harness.runner import SimulationResult
@@ -51,14 +52,19 @@ __all__ = [
     "campaign",
     "compare",
     "distributed_campaign",
+    "protocols",
     "simulate",
     "sweep",
     "trace",
     "verify",
 ]
 
-_PROTOCOLS = ("baseline", "widir")
 _SWEEP_KINDS = ("protocols", "cores", "thresholds")
+
+
+def protocols() -> Tuple[str, ...]:
+    """Names of every registered coherence-protocol backend, sorted."""
+    return backend_names()
 
 
 def _executor(workers: Optional[int], cache: bool) -> Executor:
@@ -71,15 +77,15 @@ def _config_for(
     seed: int,
     max_wired_sharers: int,
 ) -> SystemConfig:
-    if protocol not in _PROTOCOLS:
-        raise ValueError(
-            f"unknown protocol {protocol!r}; expected one of {_PROTOCOLS}"
-        )
-    if protocol == "widir":
-        return widir_config(
-            num_cores=cores, max_wired_sharers=max_wired_sharers, seed=seed
-        )
-    return baseline_config(num_cores=cores, seed=seed)
+    backend = get_backend(protocol)  # raises ValueError naming the known set
+    return protocol_config(
+        protocol,
+        num_cores=cores,
+        max_wired_sharers=(
+            max_wired_sharers if backend.uses_sharer_threshold else None
+        ),
+        seed=seed,
+    )
 
 
 # ------------------------------------------------------------ result types
@@ -244,11 +250,15 @@ def sweep(
     workers: Optional[int] = None,
     cache: bool = True,
     executor: Optional[Executor] = None,
+    protocols: Sequence[str] = ("baseline", "widir"),
 ) -> SweepResult:
     """Run a labelled grid: ``"protocols"``, ``"cores"``, or ``"thresholds"``.
 
-    * ``protocols`` — every app on Baseline and WiDir at ``cores``;
-    * ``cores`` — one ``app`` across ``cores`` (a sequence), both protocols;
+    * ``protocols`` — every app on every backend in ``protocols`` at
+      ``cores`` (default: Baseline and WiDir; any registered backend
+      name is accepted, see :func:`repro.api.protocols`);
+    * ``cores`` — one ``app`` across ``cores`` (a sequence), every
+      backend in ``protocols``;
     * ``thresholds`` — one ``app`` across MaxWiredSharers ``thresholds``.
 
     Pass ``executor=`` to render from an existing campaign
@@ -258,20 +268,27 @@ def sweep(
     from repro.harness import sweeps as _sweeps
 
     exe = executor if executor is not None else _executor(workers, cache)
+    protocol_names = tuple(protocols)
+    for name in protocol_names:
+        get_backend(name)  # raises ValueError naming the known set
     if kind == "protocols":
         if not apps:
             raise ValueError("sweep('protocols') needs apps=(...)")
         core_count = cores if isinstance(cores, int) else tuple(cores)[0]
         expected = [
-            _sweeps.label_for(a, cfg)
-            for a in apps
-            for cfg in (
-                baseline_config(num_cores=core_count, seed=seed),
-                widir_config(num_cores=core_count, seed=seed),
+            _sweeps.label_for(
+                a, protocol_config(p, num_cores=core_count, seed=seed)
             )
+            for a in apps
+            for p in protocol_names
         ]
         results = _sweeps.sweep_protocols(
-            apps, num_cores=core_count, memops=memops, seed=seed, executor=exe
+            apps,
+            num_cores=core_count,
+            memops=memops,
+            seed=seed,
+            executor=exe,
+            protocols=protocol_names,
         )
     elif kind == "cores":
         target = app if app is not None else (apps[0] if apps else None)
@@ -279,15 +296,19 @@ def sweep(
             raise ValueError("sweep('cores') needs app=...")
         counts = (cores,) if isinstance(cores, int) else tuple(cores)
         expected = [
-            _sweeps.label_for(target, cfg)
-            for c in counts
-            for cfg in (
-                baseline_config(num_cores=c, seed=seed),
-                widir_config(num_cores=c, seed=seed),
+            _sweeps.label_for(
+                target, protocol_config(p, num_cores=c, seed=seed)
             )
+            for c in counts
+            for p in protocol_names
         ]
         results = _sweeps.sweep_core_counts(
-            target, counts, memops=memops, seed=seed, executor=exe
+            target,
+            counts,
+            memops=memops,
+            seed=seed,
+            executor=exe,
+            protocols=protocol_names,
         )
     elif kind == "thresholds":
         target = app if app is not None else (apps[0] if apps else None)
@@ -297,8 +318,11 @@ def sweep(
         expected = [
             _sweeps.label_for(
                 target,
-                widir_config(
-                    num_cores=core_count, max_wired_sharers=t, seed=seed
+                protocol_config(
+                    "widir",
+                    num_cores=core_count,
+                    max_wired_sharers=t,
+                    seed=seed,
                 ),
             )
             for t in thresholds
@@ -336,6 +360,7 @@ def campaign(
     retries: int = 3,
     backoff_seed: int = 0,
     resume: bool = True,
+    protocols: Sequence[str] = ("baseline", "widir"),
 ):
     """Run (or resume) a fault-tolerant campaign; returns a
     :class:`~repro.harness.campaign.CampaignReport`.
@@ -359,6 +384,7 @@ def campaign(
         seed=seed,
         thresholds=tuple(thresholds),
         trace_seed=trace_seed,
+        protocols=tuple(protocols),
     )
     supervisor = WorkerSupervisor(
         workers=workers,
@@ -396,6 +422,7 @@ def distributed_campaign(
     backoff_seed: int = 0,
     lease_timeout: float = 120.0,
     timeout: Optional[float] = None,
+    protocols: Sequence[str] = ("baseline", "widir"),
 ):
     """Run (or resume) a campaign across ``workers`` distributed agents;
     returns a :class:`~repro.harness.distributed.DistributedReport`.
@@ -424,6 +451,7 @@ def distributed_campaign(
         seed=seed,
         thresholds=tuple(thresholds),
         trace_seed=trace_seed,
+        protocols=tuple(protocols),
     )
     return run_distributed(
         Path(out),

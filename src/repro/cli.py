@@ -46,7 +46,8 @@ import json
 import sys
 from typing import List, Optional, Tuple
 
-from repro.config.presets import baseline_config, widir_config
+from repro.coherence.backend import backend_names
+from repro.config.presets import protocol_config
 from repro.harness import figures as figure_functions
 from repro.harness.executor import Executor
 from repro.harness.motivation import section2c_sharing_probe
@@ -90,6 +91,11 @@ FIGURES = {
     "table6": lambda **kw: figure_functions.table6_sensitivity(
         apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"],
         executor=kw["executor"],
+    ),
+    "protocols": lambda **kw: figure_functions.figure_protocol_comparison(
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"],
+        executor=kw["executor"], protocols=kw.get("protocols"),
+        seed=kw.get("seed", 42),
     ),
 }
 
@@ -184,7 +190,7 @@ def _executor_from(args: argparse.Namespace) -> Executor:
 def _configure_sim_run(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("app", choices=ALL_APPS)
     parser.add_argument(
-        "--protocol", choices=("baseline", "widir"), default="widir"
+        "--protocol", choices=backend_names(), default="widir"
     )
     parser.add_argument("--json", action="store_true", help="emit JSON")
 
@@ -196,7 +202,7 @@ def _configure_sim_compare(parser: argparse.ArgumentParser) -> None:
 def _configure_sim_profile(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("app", choices=ALL_APPS)
     parser.add_argument(
-        "--protocol", choices=("baseline", "widir"), default="widir"
+        "--protocol", choices=backend_names(), default="widir"
     )
     parser.add_argument(
         "--trace-seed", type=int, default=7, help="workload trace seed"
@@ -280,7 +286,7 @@ def _configure_trace_run(parser: argparse.ArgumentParser) -> None:
         "--app", choices=ALL_APPS, default="radiosity", help="application"
     )
     parser.add_argument(
-        "--preset", choices=("baseline", "widir"), default="widir"
+        "--preset", choices=backend_names(), default="widir"
     )
     parser.add_argument(
         "--trace-seed", type=int, default=0, help="workload trace seed"
@@ -372,6 +378,11 @@ def _configure_campaign_run(parser: argparse.ArgumentParser) -> None:
         help="MaxWiredSharers values for --sweep thresholds",
     )
     parser.add_argument(
+        "--protocols", default="baseline,widir",
+        help="comma-separated backend names for --sweep protocols, or "
+        "'all' (see repro apps list --protocols)",
+    )
+    parser.add_argument(
         "--trace-seed", type=int, default=0, help="workload trace seed"
     )
     _configure_campaign_common(parser)
@@ -423,6 +434,11 @@ def _configure_campaign_serve(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--thresholds", default="2,3,4,5",
         help="MaxWiredSharers values for --sweep thresholds",
+    )
+    parser.add_argument(
+        "--protocols", default="baseline,widir",
+        help="comma-separated backend names for --sweep protocols, or "
+        "'all' (see repro apps list --protocols)",
     )
     parser.add_argument(
         "--trace-seed", type=int, default=0, help="workload trace seed"
@@ -614,7 +630,14 @@ def build_parser() -> argparse.ArgumentParser:
     # ---- apps ----------------------------------------------------------
     apps = nouns.add_parser("apps", help="application profiles")
     apps_verbs = apps.add_subparsers(dest="verb", required=True)
-    apps_verbs.add_parser("list", help="list the 20 application profiles")
+    apps_list = apps_verbs.add_parser(
+        "list", help="list the 20 application profiles"
+    )
+    apps_list.add_argument(
+        "--protocols",
+        action="store_true",
+        help="list the registered coherence-protocol backends instead",
+    )
 
     # ---- verify --------------------------------------------------------
     verify = nouns.add_parser(
@@ -806,10 +829,10 @@ def _warn_deprecated(args: argparse.Namespace) -> None:
 
 
 def _cmd_sim_run(args: argparse.Namespace) -> int:
-    make = widir_config if args.protocol == "widir" else baseline_config
-    result = _executor_from(args).run(
-        args.app, make(num_cores=args.cores, seed=args.seed), args.memops
+    config = protocol_config(
+        args.protocol, num_cores=args.cores, seed=args.seed
     )
+    result = _executor_from(args).run(args.app, config, args.memops)
     if args.json:
         print(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
         return 0
@@ -883,14 +906,13 @@ def _cmd_sim_profile(args: argparse.Namespace) -> int:
     from repro.engine.batch import batched_default, set_batched_default
     from repro.harness.runner import run_app
 
-    make = widir_config if args.protocol == "widir" else baseline_config
     batched = batched_default() if args.batched is None else args.batched
     previous_batched = set_batched_default(batched)
 
     def one_run():
         return run_app(
             args.app,
-            make(num_cores=args.cores, seed=args.seed),
+            protocol_config(args.protocol, num_cores=args.cores, seed=args.seed),
             args.memops,
             trace_seed=args.trace_seed,
         )
@@ -1020,9 +1042,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     artifacts: List[str] = []
 
     def on_trial(index, spec, trial) -> None:
+        from repro.coherence.backend import get_backend
+
         protocol = spec.config["protocol"]
         mws = spec.config["directory"]["max_wired_sharers"]
-        label = f"{protocol}-mws{mws}" if protocol == "widir" else protocol
+        label = (
+            f"{protocol}-mws{mws}"
+            if get_backend(protocol).uses_sharer_threshold
+            else protocol
+        )
         if trial.ok:
             print(
                 f"  trial {index:02d} {label:<12} ok    "
@@ -1119,8 +1147,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     # trace run
     from repro.harness.runner import run_app
 
-    make = widir_config if args.preset == "widir" else baseline_config
-    config = make(num_cores=args.cores, seed=args.seed)
+    config = protocol_config(args.preset, num_cores=args.cores, seed=args.seed)
     obs_defaults = ObsConfig()
     config = replace(
         config,
@@ -1183,12 +1210,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_apps_list(_args: argparse.Namespace) -> int:
+    if getattr(_args, "protocols", False):
+        from repro.coherence.backend import registered_backends
+
+        print(f"{'protocol':16s} {'wireless':8s} {'threshold':9s} description")
+        for backend in registered_backends():
+            print(
+                f"{backend.name:16s} "
+                f"{'yes' if backend.uses_wireless else 'no':8s} "
+                f"{'yes' if backend.uses_sharer_threshold else 'no':9s} "
+                f"{backend.description}"
+            )
+        return 0
     print(f"{'app':14s} {'suite':8s} {'paper MPKI':>10s} {'sharing mix'}")
     for name in ALL_APPS:
         profile = APP_PROFILES[name]
         mix = ", ".join(f"{s}w x{w:.2f}" for s, w in profile.sharing_mix)
         print(f"{name:14s} {profile.suite:8s} {profile.paper_mpki:>10.2f} {mix}")
     return 0
+
+
+def _parse_protocols(value: str) -> Tuple[str, ...]:
+    """Parse a ``--protocols`` list; 'all' means every registered backend."""
+    if value.strip() == "all":
+        return backend_names()
+    return tuple(name.strip() for name in value.split(",") if name.strip())
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -1232,6 +1278,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 cores=spec.cores[0],
                 memops=spec.memops,
                 executor=source,
+                protocols=spec.protocols,
+                seed=spec.seed,
             )
             if isinstance(result, dict):  # figure8-style multi-table
                 partial = False
@@ -1273,6 +1321,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     int(t) for t in args.thresholds.split(",") if t.strip()
                 ),
                 trace_seed=args.trace_seed,
+                protocols=_parse_protocols(args.protocols),
             )
         else:  # resume
             directory = Path(args.dir)
@@ -1409,6 +1458,7 @@ def _cmd_campaign_serve(args: argparse.Namespace) -> int:
                 int(t) for t in args.thresholds.split(",") if t.strip()
             ),
             trace_seed=args.trace_seed,
+            protocols=_parse_protocols(args.protocols),
         )
 
     telemetry = CampaignTelemetry()

@@ -37,7 +37,6 @@ from repro.coherence.states import (
     EXCLUSIVE,
     INVALID,
     MODIFIED,
-    READABLE_STATES,
     SHARED,
     WIRELESS,
 )
@@ -101,6 +100,13 @@ class CacheController:
         self._rng = rng
         self._hit_latency = config.l1.round_trip_cycles
         self._update_threshold = config.directory.update_count_threshold
+        # Permission sets come from the protocol backend — a backend must
+        # opt in to W-state readability rather than inherit WiDir's.
+        from repro.coherence.backend import get_backend
+
+        backend = get_backend(config.protocol)
+        self._readable = backend.readable_states
+        self._writable = backend.writable_states
         # Address decomposition constants, hoisted from ``amap``: the CPU
         # entry points below run once per memory reference and the two
         # method calls per access were measurable. The arithmetic is
@@ -160,7 +166,7 @@ class CacheController:
         self._accesses_counter.value += 1
         line = address >> self._line_shift
         entry = self.array.lookup(line)
-        if entry is not None and entry.state in READABLE_STATES:
+        if entry is not None and entry.state in self._readable:
             if entry.state == WIRELESS:
                 entry.update_count = 0
             word = (address & self._offset_mask) >> self._word_shift
@@ -183,7 +189,7 @@ class CacheController:
         self._loads_counter.value += 1
         self._accesses_counter.value += 1
         entry = self.array.lookup(address >> self._line_shift)
-        if entry is not None and entry.state in READABLE_STATES:
+        if entry is not None and entry.state in self._readable:
             if entry.state == WIRELESS:
                 entry.update_count = 0
             word = (address & self._offset_mask) >> self._word_shift
@@ -213,7 +219,7 @@ class CacheController:
         self._stores_counter.value += 1
         self._accesses_counter.value += 1
         entry = self.array.lookup(address >> self._line_shift)
-        if entry is not None and entry.state in (MODIFIED, EXCLUSIVE):
+        if entry is not None and entry.state in self._writable:
             entry.state = MODIFIED
             entry.dirty = True
             entry.data[(address & self._offset_mask) >> self._word_shift] = value
@@ -244,7 +250,7 @@ class CacheController:
     def _do_load(self, address: int, on_done: Callable[[int], None]) -> None:
         line = address >> self._line_shift
         entry = self.array.lookup(line)
-        if entry is not None and entry.state in READABLE_STATES:
+        if entry is not None and entry.state in self._readable:
             if entry.state == WIRELESS:
                 entry.update_count = 0
             word = (address & self._offset_mask) >> self._word_shift
@@ -258,7 +264,7 @@ class CacheController:
         word = (address & self._offset_mask) >> self._word_shift
         entry = self.array.lookup(line)
         if entry is not None:
-            if entry.state in (MODIFIED, EXCLUSIVE):
+            if entry.state in self._writable:
                 entry.state = MODIFIED
                 entry.dirty = True
                 entry.data[word] = value
@@ -279,7 +285,7 @@ class CacheController:
         word = (address & self._offset_mask) >> self._word_shift
         entry = self.array.lookup(line)
         if entry is not None:
-            if entry.state in (MODIFIED, EXCLUSIVE):
+            if entry.state in self._writable:
                 old = entry.data.get(word, 0)
                 entry.state = MODIFIED
                 entry.dirty = True

@@ -184,14 +184,32 @@ class DirectoryController:
         entry.transaction = None
         # A PutW processed mid-transaction may have left the wireless sharer
         # count at/below the threshold: the W->S downgrade runs first.
+        if self._maybe_downgrade(entry):
+            return
+        while entry.deferred and not entry.busy:
+            self.handle_message(self._pop_deferred(entry))
+
+    def _maybe_downgrade(self, entry: DirectoryEntry) -> bool:
+        """Backend hook: leave the sharing mode when it stops paying off.
+
+        Called with the entry idle (not busy).  Returns True when a new
+        transaction was started (deferred service must wait for it).
+        """
         if (
             entry.state == DIR_WIRELESS
             and entry.sharer_count <= self._max_wired
         ):
             self._start_w_to_s(entry)
-            return
-        while entry.deferred and not entry.busy:
-            self.handle_message(entry.deferred.popleft())
+            return True
+        return False
+
+    def _pop_deferred(self, entry: DirectoryEntry) -> Message:
+        """Backend hook: choose the next deferred message to service.
+
+        The stock protocols are FIFO; priority-ordered backends override
+        this (the deque element chosen must be *removed* before return).
+        """
+        return entry.deferred.popleft()
 
     # ------------------------------------------------------ wired ingress
 
@@ -692,8 +710,7 @@ class DirectoryController:
         entry.sharer_count = max(0, entry.sharer_count - 1)
         if entry.busy:
             return  # re-checked in _unbusy when the transaction closes
-        if entry.sharer_count <= self._max_wired:
-            self._start_w_to_s(entry)
+        self._maybe_downgrade(entry)
 
     def _on_put_m(self, entry: Optional[DirectoryEntry], msg: Message) -> None:
         dirty = msg.payload.get("dirty", False)
@@ -853,15 +870,24 @@ class DirectoryController:
                 obs.dir_open(self.node, line, "recall_e")
             self._send(mk.INV_ID, entry.owner, line, {"needs_data": True})
             return
-        # Wireless line: Table II W->I — broadcast WirInv, write back if dirty.
+        self._start_wireless_eviction(entry)
+
+    def _start_wireless_eviction(self, entry: DirectoryEntry) -> None:
+        """Backend hook: recall a DIR_WIRELESS entry from the LLC.
+
+        WiDir behaviour (Table II W->I): broadcast WirInv, write back if
+        dirty.  Wired-only backends that repurpose the W directory state
+        override this.
+        """
         self._w_evictions()
         entry.busy = True
         entry.transaction = {"type": "evict_w"}
+        obs = self._obs
         if obs is not None:
-            obs.dir_open(self.node, line, "evict_w")
+            obs.dir_open(self.node, entry.line, "evict_w")
         if self.wireless is None:
             raise ProtocolError("evicting a W line without wireless hardware")
-        frame = WirelessFrame.acquire(mk.WIR_INV_ID, self.node, line)
+        frame = WirelessFrame.acquire(mk.WIR_INV_ID, self.node, entry.line)
         self.wireless.transmit(frame, on_delivered=lambda: self._finish_recall(entry))
 
     def _finish_recall(self, entry: DirectoryEntry) -> None:

@@ -1,0 +1,163 @@
+"""Phase-Priority directory coherence backend (after arXiv 1305.3038).
+
+A wired-only MESI directory protocol in which every request carries the
+issuing core's *phase* — a counter the cache bumps each time one of its
+misses completes — and a busy directory entry services its deferred
+queue in priority order instead of FIFO: notifications first (they
+unblock other agents), then requests ordered by ``(phase, src)``.
+
+The effect is age-based fairness: a core that has completed many misses
+carries a high phase and yields the directory to cores still working
+through earlier phases, so a request can only be overtaken finitely
+often — every competitor that wins completes, bumps its phase past the
+loser's, and sorts behind it from then on.  The scheme changes *service
+order only*; the per-message state machine is stock MESI, which is what
+makes it a good differential-harness rival: same final memory images,
+different interleavings and latencies.
+
+Pure decision helpers (:func:`pp_select`, :func:`pp_next_phase`) are
+kept free of simulator state so hypothesis can property-test them
+directly (see ``tests/test_protocol_backends.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.coherence import messages as mk
+from repro.coherence.backend import (
+    BASE_DIRECTORY_KINDS,
+    ProtocolBackend,
+    register_backend,
+)
+from repro.coherence.cache import CacheController
+from repro.coherence.dir_controller import DirectoryController
+from repro.coherence.directory import DirectoryEntry
+from repro.coherence.states import EXCLUSIVE, MODIFIED, SHARED
+from repro.noc.message import Message
+
+# ------------------------------------------------------ pure transition fns
+
+
+def pp_next_phase(phase: int) -> int:
+    """Phase counter transition: bumped once per completed miss."""
+    return phase + 1
+
+
+def pp_select(entries: Sequence[Tuple[bool, int, int]]) -> int:
+    """Index of the deferred message to service next.
+
+    ``entries`` holds one ``(is_request, phase, src)`` triple per queued
+    message, in arrival (FIFO) order.  Non-requests (PutM and friends —
+    they unblock *other* transactions) are served first, oldest first;
+    requests are served by ascending ``(phase, src)`` with FIFO breaking
+    exact ties.
+    """
+    if not entries:
+        raise ValueError("pp_select on an empty queue")
+    for index, (is_request, _, _) in enumerate(entries):
+        if not is_request:
+            return index
+    best = 0
+    best_key = (entries[0][1], entries[0][2])
+    for index in range(1, len(entries)):
+        key = (entries[index][1], entries[index][2])
+        if key < best_key:
+            best, best_key = index, key
+    return best
+
+
+# ------------------------------------------------------------- controllers
+
+
+class PhasePriorityCacheController(CacheController):
+    """Stock MESI cache that phase-tags its requests."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: This core's phase: the number of misses it has completed.
+        self._phase = 0
+
+    def _send_request(self, mshr, line: int, is_write: bool, is_sharer: bool) -> None:
+        self._request_serial += 1
+        mshr.request_serial = self._request_serial
+        kind = mk.GETX_ID if is_write else mk.GETS_ID
+        self._send(
+            kind,
+            self.amap.home_of(line),
+            line,
+            {
+                "is_sharer": is_sharer,
+                "req_serial": mshr.request_serial,
+                "phase": self._phase,
+            },
+        )
+
+    def _complete_mshr(self, line: int) -> None:
+        super()._complete_mshr(line)
+        self._phase = pp_next_phase(self._phase)
+
+
+class PhasePriorityDirectoryController(DirectoryController):
+    """Stock MESI directory with priority-ordered deferred service."""
+
+    def _pop_deferred(self, entry: DirectoryEntry) -> Message:
+        deferred = entry.deferred
+        if len(deferred) == 1:
+            return deferred.popleft()
+        index = pp_select(
+            [
+                (
+                    msg.kind_id == mk.GETS_ID or msg.kind_id == mk.GETX_ID,
+                    (msg.payload or {}).get("phase", 0),
+                    msg.src,
+                )
+                for msg in deferred
+            ]
+        )
+        msg = deferred[index]
+        del deferred[index]
+        return msg
+
+
+# ------------------------------------------------------------ registration
+
+
+def _pp_cache(sim, node, config, amap, noc, stats, rng, wireless, tone):
+    return PhasePriorityCacheController(
+        sim, node, config, amap, noc, stats, rng, wireless=wireless, tone=tone
+    )
+
+
+def _pp_directory(
+    sim, node, config, amap, noc, memory_controllers, stats, wireless, tone
+):
+    return PhasePriorityDirectoryController(
+        sim,
+        node,
+        config,
+        amap,
+        noc,
+        memory_controllers,
+        stats,
+        wireless=wireless,
+        tone=tone,
+    )
+
+
+register_backend(
+    ProtocolBackend(
+        name="phase_priority",
+        description=(
+            "MESI with phase-tagged requests and priority-ordered "
+            "directory service (arXiv 1305.3038)."
+        ),
+        uses_wireless=False,
+        uses_sharer_threshold=False,
+        readable_states=frozenset({MODIFIED, EXCLUSIVE, SHARED}),
+        writable_states=frozenset({MODIFIED, EXCLUSIVE}),
+        directory_kinds=BASE_DIRECTORY_KINDS,
+        cache_factory=_pp_cache,
+        directory_factory=_pp_directory,
+    )
+)

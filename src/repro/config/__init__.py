@@ -15,7 +15,12 @@ from repro.config.system import (
     SystemConfig,
     WirelessConfig,
 )
-from repro.config.presets import baseline_config, paper_config, widir_config
+from repro.config.presets import (
+    baseline_config,
+    paper_config,
+    protocol_config,
+    widir_config,
+)
 
 __all__ = [
     "CacheConfig",
@@ -27,5 +32,6 @@ __all__ = [
     "WirelessConfig",
     "baseline_config",
     "paper_config",
+    "protocol_config",
     "widir_config",
 ]

@@ -19,6 +19,34 @@ def paper_config(num_cores: int = 64, protocol: str = "widir", seed: int = 42) -
     return config
 
 
+def protocol_config(
+    protocol: str,
+    num_cores: int = 64,
+    max_wired_sharers: int = None,
+    seed: int = 42,
+) -> SystemConfig:
+    """Table III machine for any registered protocol backend.
+
+    ``max_wired_sharers`` is the sharer-count threshold knob; it is only
+    meaningful for backends with ``uses_sharer_threshold`` (WiDir's Table
+    VI sensitivity axis, hybrid_update's mode-entry trigger) and is
+    ignored when ``None`` or already the configured default.
+    """
+    config = paper_config(num_cores=num_cores, protocol=protocol, seed=seed)
+    if (
+        max_wired_sharers is not None
+        and max_wired_sharers != config.directory.max_wired_sharers
+    ):
+        directory = DirectoryConfig(
+            num_pointers=max(config.directory.num_pointers, max_wired_sharers),
+            max_wired_sharers=max_wired_sharers,
+            update_count_threshold=config.directory.update_count_threshold,
+        )
+        config = replace(config, directory=directory)
+        config.validate()
+    return config
+
+
 def baseline_config(num_cores: int = 64, seed: int = 42) -> SystemConfig:
     """MESI Dir_3_B machine without wireless support."""
     return paper_config(num_cores=num_cores, protocol="baseline", seed=seed)
@@ -28,13 +56,9 @@ def widir_config(
     num_cores: int = 64, max_wired_sharers: int = 3, seed: int = 42
 ) -> SystemConfig:
     """WiDir machine; ``max_wired_sharers`` is the Table VI sensitivity knob."""
-    config = paper_config(num_cores=num_cores, protocol="widir", seed=seed)
-    if max_wired_sharers != config.directory.max_wired_sharers:
-        directory = DirectoryConfig(
-            num_pointers=max(config.directory.num_pointers, max_wired_sharers),
-            max_wired_sharers=max_wired_sharers,
-            update_count_threshold=config.directory.update_count_threshold,
-        )
-        config = replace(config, directory=directory)
-        config.validate()
-    return config
+    return protocol_config(
+        "widir",
+        num_cores=num_cores,
+        max_wired_sharers=max_wired_sharers,
+        seed=seed,
+    )

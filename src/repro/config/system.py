@@ -213,7 +213,7 @@ class SystemConfig:
     """
 
     num_cores: int = 64
-    protocol: str = "widir"  # "baseline" or "widir"
+    protocol: str = "widir"  # any name in coherence.backend.backend_names()
     core: CoreConfig = field(default_factory=CoreConfig)
     l1: CacheConfig = field(default_factory=CacheConfig)
     l2: CacheConfig = field(
@@ -255,14 +255,22 @@ class SystemConfig:
 
     @property
     def uses_wireless(self) -> bool:
-        return self.protocol == "widir"
+        """True when the selected protocol backend needs the wireless plane."""
+        # Imported lazily: config is a leaf module the backend registry (and
+        # the controllers it lazily constructs) depends on.
+        from repro.coherence.backend import get_backend
+
+        return get_backend(self.protocol).uses_wireless
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on any inconsistent field."""
+        from repro.coherence.backend import backend_names
+
         _require(self.num_cores >= 1, "need at least one core")
         _require(
-            self.protocol in ("baseline", "widir"),
-            f"unknown protocol {self.protocol!r}; expected 'baseline' or 'widir'",
+            self.protocol in backend_names(),
+            f"unknown protocol {self.protocol!r}; "
+            f"expected one of {', '.join(backend_names())}",
         )
         self.core.validate()
         self.l1.validate("l1")

@@ -44,7 +44,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro.config.presets import baseline_config, widir_config
+from repro.coherence.backend import get_backend
+from repro.config.presets import baseline_config, protocol_config, widir_config
 from repro.harness.executor import (
     Executor,
     ExperimentPlan,
@@ -108,6 +109,10 @@ class CampaignSpec:
     seed: int = 42
     thresholds: Tuple[int, ...] = (2, 3, 4, 5)
     trace_seed: int = 0
+    #: Backends a ``kind="protocols"`` campaign compares; any subset of
+    #: :func:`repro.coherence.backend.backend_names`. Validated at spec
+    #: construction so a typo fails before any run is journalled.
+    protocols: Tuple[str, ...] = ("baseline", "widir")
 
     def __post_init__(self) -> None:
         if self.kind not in SWEEP_KINDS:
@@ -116,6 +121,10 @@ class CampaignSpec:
             )
         if not self.apps:
             raise ValueError("a campaign needs at least one app")
+        if not self.protocols:
+            raise ValueError("a campaign needs at least one protocol")
+        for protocol in self.protocols:
+            get_backend(protocol)  # raises ValueError naming the known set
 
     def to_dict(self) -> Dict:
         return {
@@ -127,6 +136,7 @@ class CampaignSpec:
             "seed": self.seed,
             "thresholds": list(self.thresholds),
             "trace_seed": self.trace_seed,
+            "protocols": list(self.protocols),
         }
 
     @classmethod
@@ -140,6 +150,9 @@ class CampaignSpec:
             seed=payload.get("seed", 42),
             thresholds=tuple(payload.get("thresholds", (2, 3, 4, 5))),
             trace_seed=payload.get("trace_seed", 0),
+            # Manifests written before the pluggable-backend refactor
+            # predate this key; they always meant the classic pair.
+            protocols=tuple(payload.get("protocols", ("baseline", "widir"))),
         )
 
     def build(self) -> Tuple[ExperimentPlan, List[str]]:
@@ -154,8 +167,13 @@ class CampaignSpec:
         if self.kind == "protocols":
             for app in self.apps:
                 for cores in self.cores:
-                    add(app, baseline_config(num_cores=cores, seed=self.seed))
-                    add(app, widir_config(num_cores=cores, seed=self.seed))
+                    for protocol in self.protocols:
+                        add(
+                            app,
+                            protocol_config(
+                                protocol, num_cores=cores, seed=self.seed
+                            ),
+                        )
         else:  # thresholds
             for app in self.apps:
                 for cores in self.cores:

@@ -549,3 +549,73 @@ def table6_sensitivity(
         "table6", ["threshold", "speedup", "collisions"], rows, text,
         missing=missing,
     )
+
+
+# ------------------------------------------------- protocol comparison
+
+def figure_protocol_comparison(
+    apps: Optional[Iterable[str]] = None,
+    num_cores: int = 16,
+    memops: Optional[int] = None,
+    executor: Optional[Executor] = None,
+    seed: int = 42,
+    protocols: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Cross-protocol comparison: every registered backend on one grid.
+
+    One column per backend (default: all of
+    :func:`repro.coherence.backend.backend_names`), cycles normalized to
+    the first protocol in the list, plus a geomean row. Renders from a
+    ``kind="protocols"`` campaign that declared the same ``protocols``
+    tuple, or simulates directly.
+    """
+    from repro.coherence.backend import backend_names
+    from repro.config.presets import protocol_config
+
+    names = tuple(protocols) if protocols else backend_names()
+    apps = _apps_or_default(apps)
+    plan = ExperimentPlan()
+    indices = {
+        (app, name): plan.add(
+            app,
+            protocol_config(name, num_cores=num_cores, seed=seed),
+            memops,
+        )
+        for app in apps
+        for name in names
+    }
+    all_results = _exe(executor).map_runs(plan)
+    reference_name = names[0]
+    rows = []
+    ratios: Dict[str, List[float]] = {name: [] for name in names}
+    missing = []
+    for app in apps:
+        reference = all_results[indices[(app, reference_name)]]
+        if reference is None:
+            missing.append(f"{app}/{reference_name}")
+            continue
+        row = [app]
+        for name in names:
+            result = all_results[indices[(app, name)]]
+            if result is None:
+                missing.append(f"{app}/{name}")
+                row.append(float("nan"))
+                continue
+            ratio = result.cycles / max(1, reference.cycles)
+            ratios[name].append(ratio)
+            row.append(ratio)
+        rows.append(row)
+    rows.append(
+        ["geomean"] + [_geomean(ratios[name]) for name in names]
+    )
+    text = format_table(
+        ["app"] + [f"{name} cycles" for name in names],
+        rows,
+        title=(
+            f"Protocol comparison ({num_cores} cores): cycles normalized "
+            f"to {reference_name}"
+        ),
+    )
+    return FigureResult(
+        "protocols", ["app"] + list(names), rows, text, missing=missing
+    )

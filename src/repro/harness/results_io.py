@@ -14,7 +14,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Union
 
-from repro.config.presets import baseline_config, widir_config
+from repro.config.presets import protocol_config
 from repro.energy.models import EnergyBreakdown
 from repro.harness.ioutils import atomic_write_text
 from repro.harness.runner import SimulationResult
@@ -58,11 +58,12 @@ def result_to_dict(result: SimulationResult) -> dict:
 def result_from_dict(payload: dict) -> SimulationResult:
     """Reconstruct a :class:`SimulationResult` saved by ``result_to_dict``."""
     config_info = payload["config"]
-    make = widir_config if config_info["protocol"] == "widir" else baseline_config
-    kwargs = dict(num_cores=config_info["num_cores"], seed=config_info["seed"])
-    if config_info["protocol"] == "widir":
-        kwargs["max_wired_sharers"] = config_info["max_wired_sharers"]
-    config = make(**kwargs)
+    config = protocol_config(
+        config_info["protocol"],
+        num_cores=config_info["num_cores"],
+        max_wired_sharers=config_info["max_wired_sharers"],
+        seed=config_info["seed"],
+    )
     energy = EnergyBreakdown(**payload["energy"])
     return SimulationResult(
         app=payload["app"],

@@ -17,10 +17,15 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict, Iterable, Optional, Sequence
 
-from repro.config.presets import baseline_config, widir_config
+from repro.coherence.backend import get_backend
+from repro.config.presets import protocol_config, widir_config
 from repro.config.system import SystemConfig
 from repro.harness.executor import Executor, ExperimentPlan, default_executor
 from repro.harness.runner import SimulationResult
+
+#: Default protocol pair of the paper's evaluation; sweeps accept any
+#: subset of :func:`repro.coherence.backend.backend_names`.
+DEFAULT_PROTOCOLS = ("baseline", "widir")
 
 
 def _exe(executor: Optional[Executor]) -> Executor:
@@ -28,9 +33,9 @@ def _exe(executor: Optional[Executor]) -> Executor:
 
 
 def label_for(app: str, config: SystemConfig) -> str:
-    """Canonical sweep label: app/protocol/cores[/tN for WiDir thresholds]."""
+    """Canonical sweep label: app/protocol/cores[/tN for threshold protocols]."""
     parts = [app, config.protocol, f"{config.num_cores}c"]
-    if config.protocol == "widir":
+    if get_backend(config.protocol).uses_sharer_threshold:
         parts.append(f"t{config.directory.max_wired_sharers}")
     return "/".join(parts)
 
@@ -66,8 +71,9 @@ def sweep_protocols(
     seed: int = 42,
     progress: Optional[Callable[[str], None]] = None,
     executor: Optional[Executor] = None,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
 ) -> Dict[str, SimulationResult]:
-    """Run every app on both machines; returns label -> result.
+    """Run every app on every requested protocol; returns label -> result.
 
     ``progress`` is invoked once per grid point as the plan is *declared*
     (dispatch order); with a parallel executor the underlying simulations
@@ -75,10 +81,8 @@ def sweep_protocols(
     """
     grid = []
     for app in apps:
-        for config in (
-            baseline_config(num_cores=num_cores, seed=seed),
-            widir_config(num_cores=num_cores, seed=seed),
-        ):
+        for protocol in protocols:
+            config = protocol_config(protocol, num_cores=num_cores, seed=seed)
             label = label_for(app, config)
             if progress is not None:
                 progress(label)
@@ -92,14 +96,15 @@ def sweep_core_counts(
     memops: Optional[int] = None,
     seed: int = 42,
     executor: Optional[Executor] = None,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
 ) -> Dict[str, SimulationResult]:
-    """One app across machine sizes, both protocols."""
+    """One app across machine sizes, every requested protocol."""
     grid = [
         (label_for(app, config), app, config)
         for cores in core_counts
         for config in (
-            baseline_config(num_cores=cores, seed=seed),
-            widir_config(num_cores=cores, seed=seed),
+            protocol_config(protocol, num_cores=cores, seed=seed)
+            for protocol in protocols
         )
     ]
     return _run_labelled(grid, executor, memops)

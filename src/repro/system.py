@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.coherence import messages as mk
-from repro.coherence.cache import CacheController
+from repro.coherence.backend import get_backend
+from repro.coherence.cache import CacheController  # noqa: F401 (typing)
 from repro.coherence.checker import CoherenceChecker, OnlineInvariantMonitor
 from repro.coherence.dir_controller import DirectoryController
 from repro.config.system import SystemConfig
@@ -28,41 +28,24 @@ from repro.wireless.channel import WirelessDataChannel
 from repro.wireless.frames import WirelessFrame
 from repro.wireless.tone import ToneChannel
 
-#: Wired message kinds consumed by the home directory slice of a tile,
-#: as a kind-id-indexed bool table (the router runs once per delivered
-#: message — no per-message set hashing). Ids interned after the protocol
-#: set fall off the end and route to the cache side, which rejects unknown
-#: kinds with the same ProtocolError as before.
-_DIRECTORY_KIND_TABLE: List[bool] = [False] * mk.NUM_PROTOCOL_KINDS
-for _kid in (
-    mk.GETS_ID,
-    mk.GETX_ID,
-    mk.PUTS_ID,
-    mk.PUTM_ID,
-    mk.PUTW_ID,
-    mk.INV_ACK_ID,
-    mk.INV_ACK_DATA_ID,
-    mk.WB_DATA_ID,
-    mk.FWD_ACK_ID,
-    mk.WIR_UPGR_ACK_ID,
-    mk.WIR_DWGR_ACK_ID,
-):
-    _DIRECTORY_KIND_TABLE[_kid] = True
-del _kid
-
-
 class Manycore:
     """A fully wired manycore ready to execute memory operations.
 
     Parameters
     ----------
     config:
-        Machine description; ``config.protocol`` chooses Baseline or WiDir.
+        Machine description; ``config.protocol`` names a registered
+        coherence-protocol backend (see :mod:`repro.coherence.backend`).
     """
 
     def __init__(self, config: SystemConfig) -> None:
         config.validate()
         self.config = config
+        #: The coherence-protocol backend every tile is built from. The
+        #: backend owns the state machine (controller factories), the
+        #: permission sets, and the directory slice of the message
+        #: vocabulary (the wired-router kind table below).
+        self.backend = get_backend(config.protocol)
         self.sim = Simulator(config.seed)
         self.stats = StatsRegistry("manycore")
         self.amap = AddressMap(
@@ -95,10 +78,18 @@ class Manycore:
             for i in range(config.memory.num_controllers)
         ]
 
+        #: Wired message kinds consumed by the home directory slice of a
+        #: tile, as a kind-id-indexed bool table (the router runs once per
+        #: delivered message — no per-message set hashing). Kind ids
+        #: interned by *other* backends fall off/read False and route to
+        #: the cache side, which rejects unknown kinds with the same
+        #: ProtocolError as before.
+        self._directory_kind_table: List[bool] = self.backend.directory_kind_table()
+
         self.caches: List[CacheController] = []
         self.directories: List[DirectoryController] = []
         for node in range(config.num_cores):
-            cache = CacheController(
+            cache = self.backend.cache_factory(
                 self.sim,
                 node,
                 config,
@@ -106,10 +97,10 @@ class Manycore:
                 self.mesh,
                 self.stats,
                 self.sim.rng.split(f"cache-{node}"),
-                wireless=self.wireless,
-                tone=self.tone,
+                self.wireless,
+                self.tone,
             )
-            directory = DirectoryController(
+            directory = self.backend.directory_factory(
                 self.sim,
                 node,
                 config,
@@ -117,8 +108,8 @@ class Manycore:
                 self.mesh,
                 self.memory_controllers,
                 self.stats,
-                wireless=self.wireless,
-                tone=self.tone,
+                self.wireless,
+                self.tone,
             )
             self.caches.append(cache)
             self.directories.append(directory)
@@ -147,7 +138,7 @@ class Manycore:
     def _make_wired_router(self, node: int):
         cache = self.caches[node]
         directory = self.directories[node]
-        table = _DIRECTORY_KIND_TABLE
+        table = self._directory_kind_table
         table_len = len(table)
 
         def route(message: Message) -> None:

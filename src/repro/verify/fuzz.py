@@ -227,6 +227,9 @@ def generate_trial(
     think-time delays. Stores write globally unique values so the
     provenance oracle can attribute every observed load.
     """
+    from repro.coherence.backend import get_backend
+
+    backend = get_backend(protocol)
     rng = DeterministicRng(seed).split(f"trial-{index}")
     config = SystemConfig(
         num_cores=num_cores,
@@ -237,11 +240,18 @@ def generate_trial(
     if max_wired_sharers is not None:
         from dataclasses import replace
 
+        pointers = max(1, max_wired_sharers)
+        if backend.uses_sharer_threshold and not backend.uses_wireless:
+            # Wired threshold protocols (hybrid_update) gate mode entry on
+            # a *precise* sharer vector: with too few pointers the entry
+            # goes imprecise and the threshold never fires. Give the
+            # directory full pointers so the knob under test decides.
+            pointers = max(num_cores, max_wired_sharers)
         config = replace(
             config,
             directory=replace(
                 config.directory,
-                num_pointers=max(1, max_wired_sharers),
+                num_pointers=pointers,
                 max_wired_sharers=max_wired_sharers,
             ),
         )
@@ -265,7 +275,7 @@ def generate_trial(
                 ops.append(LitmusOp("load", _COUNTER_VAR))
         programs.append(ops)
 
-    wireless = protocol == "widir"
+    wireless = backend.uses_wireless
     storm: List[Tuple[int, int, int]] = []
     if wireless and rng.randint(0, 3) != 0:
         for _ in range(rng.randint(2, 8)):
@@ -489,6 +499,9 @@ class FuzzCampaign:
         ("widir", None),
         ("widir", 1),
         ("baseline", None),
+        ("phase_priority", None),
+        ("hybrid_update", None),
+        ("hybrid_update", 1),
     )
     check_interval: int = 150
 
@@ -535,6 +548,8 @@ def run_campaign(
     (mutation smoke testing). ``on_trial(index, spec, result)`` is invoked
     after each trial (progress reporting / artifact capture).
     """
+    from repro.verify.mutations import mutation_protocols
+
     plan = CAMPAIGNS[campaign]
     count = trials if trials is not None else plan.trials
     result = CampaignResult(campaign=campaign, seed=seed)
@@ -550,10 +565,11 @@ def run_campaign(
             check_interval=plan.check_interval,
             max_wired_sharers=mws,
         )
-        if mutation and protocol == "widir":
+        if mutation and protocol in mutation_protocols(mutation):
             # Record the mutation on the spec so any captured artifact
-            # replays it. (Mutations target the wireless path; baseline
-            # trials stay unmutated so they remain meaningful.)
+            # replays it. (Each mutation targets one backend's machinery;
+            # other protocols' trials stay unmutated so they remain
+            # meaningful clean references.)
             spec.mutation = mutation
         trial = execute_trial(spec)
         result.trials.append(trial)

@@ -529,16 +529,35 @@ def litmus_suite(threshold_variants: bool = True) -> List[LitmusTest]:
 
 
 def suite_configs(num_cores: int = 8) -> List[Tuple[str, SystemConfig]]:
-    """The (label, config) matrix litmus campaigns run against."""
+    """The (label, config) matrix litmus campaigns run against.
+
+    Every registered protocol backend appears at least once; threshold
+    protocols get an extra tight-threshold variant that forces their
+    many-sharer mode on the handful of cores a litmus test touches.
+    """
     baseline = SystemConfig(num_cores=num_cores, protocol="baseline")
     widir = SystemConfig(num_cores=num_cores, protocol="widir")
     tight = replace(
         widir, directory=replace(widir.directory, num_pointers=1, max_wired_sharers=1)
     )
+    phase = SystemConfig(num_cores=num_cores, protocol="phase_priority")
+    hybrid = SystemConfig(num_cores=num_cores, protocol="hybrid_update")
+    # Hybrid mode entry needs a *precise* sharer vector (imprecise entries
+    # fall back to invalidation), so the tight variant widens the pointer
+    # array to the core count while dropping the threshold to 1.
+    hybrid_tight = replace(
+        hybrid,
+        directory=replace(
+            hybrid.directory, num_pointers=num_cores, max_wired_sharers=1
+        ),
+    )
     return [
         ("baseline", baseline),
         ("widir", widir),
         ("widir-mws1", tight),
+        ("phase_priority", phase),
+        ("hybrid_update", hybrid),
+        ("hybrid_update-mws1", hybrid_tight),
     ]
 
 

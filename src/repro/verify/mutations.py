@@ -13,7 +13,7 @@ campaign is exactly as reproducible as a clean one.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
 from repro.system import Manycore
 
@@ -67,12 +67,115 @@ def _no_home_wirupd_merge(machine: Manycore) -> None:
         directory.handle_frame = lambda frame: None  # type: ignore[method-assign]
 
 
+def _pp_drop_deferred(machine: Manycore) -> None:
+    """Phase-priority service leaks every third deferred message.
+
+    The priority selector returns one message but a second one silently
+    falls off the queue, so the dropped requester's MSHR never completes.
+    Detected as a deadlock (unfinished programs or an exceeded event
+    budget).
+    """
+    from repro.coherence.phase_priority import PhasePriorityDirectoryController
+
+    if not isinstance(machine.directories[0], PhasePriorityDirectoryController):
+        raise ValueError("pp_drop_deferred needs a phase_priority machine")
+    state = {"count": 0}
+    for directory in machine.directories:
+        original = directory._pop_deferred
+
+        def leaky(entry, _original=original):
+            message = _original(entry)
+            state["count"] += 1
+            if state["count"] % 3 == 0 and entry.deferred:
+                entry.deferred.popleft()  # a queued message vanishes
+            return message
+
+        directory._pop_deferred = leaky  # type: ignore[method-assign]
+
+
+def _hyb_lost_upd_ack(machine: Manycore) -> None:
+    """Every third HybUpd delivery is swallowed whole: no apply, no ack.
+
+    The home's locked-write transaction waits for an HybUpdAck that never
+    arrives, so the entry stays busy forever. Detected as a deadlock.
+    """
+    from repro.coherence.hybrid_update import HYB_UPD_ID, HybridCacheController
+
+    if not isinstance(machine.caches[0], HybridCacheController):
+        raise ValueError("hyb_lost_upd_ack needs a hybrid_update machine")
+    state = {"count": 0}
+    for cache in machine.caches:
+        # Wired handling dispatches through the class-level kind table, so
+        # the patch intercepts handle_message (resolved per delivery).
+        original = cache.handle_message
+
+        def lossy(msg, _original=original):
+            if msg.kind_id == HYB_UPD_ID:
+                state["count"] += 1
+                if state["count"] % 3 == 0:
+                    return  # the update (and its ack) vanish into the ether
+            _original(msg)
+
+        cache.handle_message = lossy  # type: ignore[method-assign]
+
+
+def _hyb_stale_update(machine: Manycore) -> None:
+    """Sharers apply a skewed value for every HybUpd (but still ack).
+
+    The home's LLC merge keeps the true value while every locked sharer
+    installs value+1, so sharer copies diverge from the LLC (and from the
+    writer's completion value). Detected by the value-agreement invariant
+    or the load-provenance oracle.
+    """
+    from repro.coherence.hybrid_update import HYB_UPD_ID, HybridCacheController
+
+    if not isinstance(machine.caches[0], HybridCacheController):
+        raise ValueError("hyb_stale_update needs a hybrid_update machine")
+    for cache in machine.caches:
+        original = cache.handle_message
+
+        def skewed(msg, _original=original):
+            if (
+                msg.kind_id == HYB_UPD_ID
+                and msg.payload
+                and "value" in msg.payload
+            ):
+                msg.payload = dict(msg.payload, value=msg.payload["value"] + 1)
+            _original(msg)
+
+        cache.handle_message = skewed  # type: ignore[method-assign]
+
+
 #: name -> patcher. Names are part of the CLI surface (``--mutate``).
 MUTATIONS: Dict[str, Callable[[Manycore], None]] = {
     "no_jam_nack": _no_jam_nack,
     "lost_tone_drop": _lost_tone_drop,
     "no_home_wirupd_merge": _no_home_wirupd_merge,
+    "pp_drop_deferred": _pp_drop_deferred,
+    "hyb_lost_upd_ack": _hyb_lost_upd_ack,
+    "hyb_stale_update": _hyb_stale_update,
 }
+
+#: name -> protocols the mutation is meaningful for. Fuzz campaigns apply
+#: a mutation only to trials whose machine runs a listed backend; other
+#: trials stay clean references.
+MUTATION_PROTOCOLS: Dict[str, Tuple[str, ...]] = {
+    "no_jam_nack": ("widir",),
+    "lost_tone_drop": ("widir",),
+    "no_home_wirupd_merge": ("widir",),
+    "pp_drop_deferred": ("phase_priority",),
+    "hyb_lost_upd_ack": ("hybrid_update",),
+    "hyb_stale_update": ("hybrid_update",),
+}
+
+
+def mutation_protocols(name: str) -> Tuple[str, ...]:
+    """Protocols the named mutation applies to (KeyError when unknown)."""
+    if name not in MUTATIONS:
+        raise KeyError(
+            f"unknown mutation {name!r}; available: {sorted(MUTATIONS)}"
+        )
+    return MUTATION_PROTOCOLS.get(name, ("widir",))
 
 
 def apply_mutation(machine: Manycore, name: str) -> None:

@@ -34,18 +34,19 @@ EXPECTED_SIGNATURES = {
     ),
     "sweep": (
         "kind", "apps", "app", "cores", "thresholds", "memops", "seed",
-        "workers", "cache", "executor",
+        "workers", "cache", "executor", "protocols",
     ),
+    "protocols": (),
     "campaign": (
         "name", "apps", "out", "kind", "cores", "thresholds", "memops",
         "seed", "trace_seed", "workers", "cache", "timeout", "retries",
-        "backoff_seed", "resume",
+        "backoff_seed", "resume", "protocols",
     ),
     "distributed_campaign": (
         "name", "apps", "out", "kind", "cores", "thresholds", "memops",
         "seed", "trace_seed", "workers", "shards", "host", "port", "cache",
         "store", "tenant", "retries", "backoff_seed", "lease_timeout",
-        "timeout",
+        "timeout", "protocols",
     ),
     "verify": (
         "campaign", "seed", "trials", "litmus", "litmus_schedules",
