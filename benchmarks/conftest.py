@@ -126,6 +126,11 @@ _DISTRIBUTED_METRICS = {}
 #: 0), which told us nothing about execution cost — this section is the
 #: cold round that fills that blind spot.
 _EXECUTOR_COLD_METRICS = {}
+#: Streaming trace-replay metrics (record/scan/replay refs/s, bounded-
+#: memory peaks, replay-vs-live ratio) from
+#: benchmarks/test_bench_trace_replay.py; lands under ``"trace_replay"``
+#: and CI drift-gates ``replay_vs_live``.
+_TRACE_REPLAY_METRICS = {}
 _SESSION_STARTED = time.time()
 
 
@@ -160,6 +165,13 @@ def executor_cold_metrics():
     """Mutable dict the cold-cache executor benchmark fills; emitted as
     ``executor_cold``."""
     return _EXECUTOR_COLD_METRICS
+
+
+@pytest.fixture(scope="session")
+def trace_replay_metrics():
+    """Mutable dict the trace-replay benchmark fills; emitted as
+    ``trace_replay`` (CI drift-gates ``replay_vs_live``)."""
+    return _TRACE_REPLAY_METRICS
 
 
 def _bench_output_path():
@@ -218,6 +230,8 @@ def pytest_sessionfinish(session, exitstatus):
         payload["distributed"] = dict(sorted(_DISTRIBUTED_METRICS.items()))
     if _EXECUTOR_COLD_METRICS:
         payload["executor_cold"] = dict(sorted(_EXECUTOR_COLD_METRICS.items()))
+    if _TRACE_REPLAY_METRICS:
+        payload["trace_replay"] = dict(sorted(_TRACE_REPLAY_METRICS.items()))
     try:
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     except OSError:  # pragma: no cover - read-only checkout

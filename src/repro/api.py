@@ -12,6 +12,8 @@ the CLI. This module is the one import users should reach for::
     report = api.campaign("nightly", apps=("radiosity",), out="campaigns/n1")
     checks = api.verify(campaign="smoke")
     traced = api.trace("radiosity", cores=8)
+    info   = api.record_trace("radix", out="radix.wtr", cores=8)
+    again  = api.replay("radix.wtr")
 
 Stability contract (see docs/API.md):
 
@@ -47,15 +49,21 @@ from repro.harness.runner import SimulationResult
 __all__ = [
     "ComparisonResult",
     "SweepResult",
+    "TraceFileInfo",
     "TraceResult",
     "VerifyReport",
     "campaign",
     "compare",
+    "convert_trace",
     "distributed_campaign",
     "protocols",
+    "record_trace",
+    "replay",
     "simulate",
     "sweep",
     "trace",
+    "trace_info",
+    "validate_trace",
     "verify",
 ]
 
@@ -161,6 +169,43 @@ class VerifyReport:
     @property
     def ok(self) -> bool:
         return not self.litmus_violations and not self.fuzz_failures
+
+
+@dataclass(frozen=True)
+class TraceFileInfo:
+    """Summary of a canonical trace file (:func:`record_trace`,
+    :func:`convert_trace`, :func:`trace_info`, :func:`validate_trace`).
+
+    ``trace_id`` is the content digest the replay/caching layers key on;
+    ``details`` carries the full :func:`repro.traces.trace_info` payload
+    (per-core record/barrier counts, metadata, compression ratio).
+    """
+
+    path: str
+    app: str
+    num_cores: int
+    chunks: int
+    records: int
+    trace_id: str
+    codec: str = ""
+    file_bytes: int = 0
+    compression_ratio: float = 0.0
+    details: Dict = None  # type: ignore[assignment]
+
+    @classmethod
+    def _from_payload(cls, payload: Dict) -> "TraceFileInfo":
+        return cls(
+            path=payload["path"],
+            app=payload.get("app", ""),
+            num_cores=payload.get("num_cores", 0),
+            chunks=payload.get("chunks", 0),
+            records=payload.get("records", 0),
+            trace_id=payload.get("trace_id", ""),
+            codec=payload.get("codec", ""),
+            file_bytes=payload.get("file_bytes", 0),
+            compression_ratio=payload.get("compression_ratio", 0.0),
+            details=dict(payload),
+        )
 
 
 @dataclass(frozen=True)
@@ -343,10 +388,44 @@ def sweep(
     return SweepResult(kind=kind, results=results, missing=missing)
 
 
+def _campaign_spec(
+    name: str,
+    kind: str,
+    apps: Sequence[str],
+    cores: Union[int, Sequence[int]],
+    thresholds: Sequence[int],
+    memops: Optional[int],
+    seed: int,
+    trace_seed: int,
+    protocols: Sequence[str],
+    trace_path: Optional[Union[str, Path]],
+    trace_shards: int,
+):
+    from repro.harness.campaign import SWEEP_KINDS, CampaignSpec
+
+    if trace_path is not None:
+        kind = "trace"
+    elif kind not in SWEEP_KINDS:
+        kind = "thresholds"
+    return CampaignSpec(
+        name=name,
+        kind=kind,
+        apps=tuple(apps),
+        cores=(cores,) if isinstance(cores, int) else tuple(cores),
+        memops=memops,
+        seed=seed,
+        thresholds=tuple(thresholds),
+        trace_seed=trace_seed,
+        protocols=tuple(protocols),
+        trace_path=str(trace_path) if trace_path is not None else "",
+        trace_shards=trace_shards,
+    )
+
+
 def campaign(
     name: str,
     *,
-    apps: Sequence[str],
+    apps: Sequence[str] = (),
     out: Union[str, Path],
     kind: str = "protocols",
     cores: Union[int, Sequence[int]] = 16,
@@ -361,6 +440,8 @@ def campaign(
     backoff_seed: int = 0,
     resume: bool = True,
     protocols: Sequence[str] = ("baseline", "widir"),
+    trace_path: Optional[Union[str, Path]] = None,
+    trace_shards: int = 0,
 ):
     """Run (or resume) a fault-tolerant campaign; returns a
     :class:`~repro.harness.campaign.CampaignReport`.
@@ -371,20 +452,18 @@ def campaign(
     byte-identical to an uninterrupted execution. Failed runs are retried
     ``retries`` times with seeded exponential backoff, then surfaced in
     the provenance manifest while the rest of the sweep completes.
+
+    Pass ``trace_path=`` (optionally with ``trace_shards=``) to fan a
+    recorded trace file across barrier-safe shard windows instead of
+    synthesizing workloads; ``apps`` is then ignored (the app name comes
+    from the trace header).
     """
-    from repro.harness.campaign import CampaignSpec, run_campaign
+    from repro.harness.campaign import run_campaign
     from repro.harness.supervisor import RetryPolicy, WorkerSupervisor
 
-    spec = CampaignSpec(
-        name=name,
-        kind="protocols" if kind == "protocols" else "thresholds",
-        apps=tuple(apps),
-        cores=(cores,) if isinstance(cores, int) else tuple(cores),
-        memops=memops,
-        seed=seed,
-        thresholds=tuple(thresholds),
-        trace_seed=trace_seed,
-        protocols=tuple(protocols),
+    spec = _campaign_spec(
+        name, kind, apps, cores, thresholds, memops, seed, trace_seed,
+        protocols, trace_path, trace_shards,
     )
     supervisor = WorkerSupervisor(
         workers=workers,
@@ -403,7 +482,7 @@ def campaign(
 def distributed_campaign(
     name: str,
     *,
-    apps: Sequence[str],
+    apps: Sequence[str] = (),
     out: Union[str, Path],
     kind: str = "protocols",
     cores: Union[int, Sequence[int]] = 16,
@@ -423,6 +502,8 @@ def distributed_campaign(
     lease_timeout: float = 120.0,
     timeout: Optional[float] = None,
     protocols: Sequence[str] = ("baseline", "widir"),
+    trace_path: Optional[Union[str, Path]] = None,
+    trace_shards: int = 0,
 ):
     """Run (or resume) a campaign across ``workers`` distributed agents;
     returns a :class:`~repro.harness.distributed.DistributedReport`.
@@ -436,22 +517,17 @@ def distributed_campaign(
     ``repro campaign worker --connect``). Pass ``store=`` (a directory)
     to dedupe runs through the content-addressed multi-tenant result
     store and publish this campaign's manifest under ``tenant``.
+    ``trace_path=``/``trace_shards=`` fan a recorded trace's barrier-safe
+    shard windows across the workers (trace-sharded campaigns; each
+    window replays cold on whichever worker leases it).
     """
-    from repro.harness.campaign import CampaignSpec
     from repro.harness.distributed import run_distributed
     from repro.harness.resultstore import ResultStore
     from repro.harness.supervisor import RetryPolicy
 
-    spec = CampaignSpec(
-        name=name,
-        kind="protocols" if kind == "protocols" else "thresholds",
-        apps=tuple(apps),
-        cores=(cores,) if isinstance(cores, int) else tuple(cores),
-        memops=memops,
-        seed=seed,
-        thresholds=tuple(thresholds),
-        trace_seed=trace_seed,
-        protocols=tuple(protocols),
+    spec = _campaign_spec(
+        name, kind, apps, cores, thresholds, memops, seed, trace_seed,
+        protocols, trace_path, trace_shards,
     )
     return run_distributed(
         Path(out),
@@ -553,3 +629,123 @@ def trace(
     )
     capture = sink[0].obs.capture(app=app)
     return TraceResult(result=result, capture=capture)
+
+
+# ------------------------------------------------- recorded-trace functions
+
+
+def record_trace(
+    app: str,
+    *,
+    out: Union[str, Path],
+    cores: int = 16,
+    memops: int = 800,
+    trace_seed: int = 0,
+    chunk_records: Optional[int] = None,
+    codec: Optional[str] = None,
+) -> TraceFileInfo:
+    """Record ``app``'s synthetic reference stream into the canonical
+    chunked/compressed trace format at ``out``.
+
+    Cores are synthesized and flushed one at a time, so peak memory is
+    O(one chunk) regardless of trace size. The returned
+    :class:`TraceFileInfo` carries the content ``trace_id`` the replay
+    and caching layers verify against.
+    """
+    from repro.traces import DEFAULT_CHUNK_RECORDS, record_app_trace
+
+    payload = record_app_trace(
+        out,
+        app,
+        cores,
+        memops,
+        trace_seed=trace_seed,
+        chunk_records=(
+            chunk_records if chunk_records is not None else DEFAULT_CHUNK_RECORDS
+        ),
+        codec=codec,
+    )
+    return TraceFileInfo._from_payload(payload)
+
+
+def convert_trace(
+    src: Union[str, Path],
+    *,
+    out: Union[str, Path],
+    cores: Optional[int] = None,
+    app: str = "imported",
+    chunk_records: Optional[int] = None,
+    codec: Optional[str] = None,
+) -> TraceFileInfo:
+    """Convert an external CSV/text op listing into the canonical format.
+
+    Both passes stream line-by-line (``cores`` defaults to ``max(core)+1``
+    discovered in the first pass), so arbitrarily large inputs convert in
+    bounded memory.
+    """
+    from repro.traces import DEFAULT_CHUNK_RECORDS, convert_csv
+
+    payload = convert_csv(
+        src,
+        out,
+        num_cores=cores,
+        app=app,
+        chunk_records=(
+            chunk_records if chunk_records is not None else DEFAULT_CHUNK_RECORDS
+        ),
+        codec=codec,
+    )
+    return TraceFileInfo._from_payload(payload)
+
+
+def trace_info(path: Union[str, Path]) -> TraceFileInfo:
+    """Header + footer-index summary of a trace file (no payload reads)."""
+    from repro.traces import trace_info as _info
+
+    return TraceFileInfo._from_payload(_info(path))
+
+
+def validate_trace(path: Union[str, Path]) -> TraceFileInfo:
+    """Full-scan integrity check (decompress + CRC every chunk).
+
+    Raises :class:`repro.traces.TraceCorruptionError` /
+    :class:`repro.traces.TraceFormatError` on the first problem.
+    """
+    from repro.traces import validate_trace as _validate
+
+    return TraceFileInfo._from_payload(_validate(path))
+
+
+def replay(
+    path: Union[str, Path],
+    *,
+    protocol: str = "widir",
+    seed: int = 42,
+    max_wired_sharers: int = 3,
+    config: Optional[SystemConfig] = None,
+    snapshot_every: int = 0,
+    snapshot_path: Optional[Union[str, Path]] = None,
+    expect_trace_id: str = "",
+) -> SimulationResult:
+    """Replay a recorded trace through the full machine.
+
+    A continuous replay (``snapshot_every=0``) is event-for-event
+    identical to the live run that recorded the trace — same result
+    digest. ``snapshot_every > 0`` selects segmented execution with
+    periodic machine snapshots; give ``snapshot_path`` to make them
+    durable so a killed replay resumes mid-trace with a byte-identical
+    final digest. The core count comes from the trace header.
+    """
+    from repro.traces import replay_trace
+    from repro.traces import trace_info as _info
+
+    if config is None:
+        num_cores = _info(path)["num_cores"]
+        config = _config_for(protocol, num_cores, seed, max_wired_sharers)
+    return replay_trace(
+        path,
+        config,
+        snapshot_every=snapshot_every,
+        snapshot_path=snapshot_path,
+        expect_trace_id=expect_trace_id,
+    )

@@ -15,6 +15,11 @@ verify replay       re-execute a failure artifact (see docs/TESTING.md)
 trace run           run one app with observability enabled; export traces
 trace export        re-export a saved capture (chrome or text timeline)
 trace summarize     span/latency statistics of a saved capture
+traces record       record an app's reference stream to a trace file
+traces convert      convert an external CSV op listing to the trace format
+traces info         print a trace file's header/index summary
+traces validate     full-scan integrity check (decompress + CRC all chunks)
+traces replay       replay a recorded trace (optionally snapshot/resume)
 campaign run        start a fault-tolerant, checkpointed sweep campaign
 campaign resume     resume an interrupted/degraded campaign where it died
 campaign status     inspect a campaign's journal (progress, retries)
@@ -26,9 +31,13 @@ campaign worker     join a running coordinator and execute leases
 campaign submit     push pending runs into a running coordinator
 ==================  ======================================================
 
-The old single-word spellings (``repro run``, ``repro compare``,
-``repro figure``, ``repro apps``, ``repro profile``, bare ``repro
-verify``) still work for one release as hidden aliases that print a
+The ``trace`` noun is the *observability* layer (captures, timelines);
+the ``traces`` noun is the *recorded-trace* subsystem (the canonical
+chunked/compressed file format of :mod:`repro.traces`). The old
+single-word spellings (``repro run``, ``repro compare``, ``repro
+figure``, ``repro apps``, ``repro profile``, bare ``repro verify``) and
+the singular ``repro trace record/convert/info/validate/replay``
+spellings still work for one release as hidden aliases that print a
 deprecation notice to stderr. Shared options are declared once on parent
 parsers: ``--workers``/``--no-cache`` (execution), ``--cores``/
 ``--memops``/``--seed`` (machine), ``--out`` (output path).
@@ -112,6 +121,11 @@ CLI_COMMANDS: Tuple[Tuple[str, ...], ...] = (
     ("trace", "run"),
     ("trace", "export"),
     ("trace", "summarize"),
+    ("traces", "record"),
+    ("traces", "convert"),
+    ("traces", "info"),
+    ("traces", "validate"),
+    ("traces", "replay"),
     ("campaign", "run"),
     ("campaign", "resume"),
     ("campaign", "status"),
@@ -129,6 +143,13 @@ DEPRECATED_ALIASES = {
     "figure": "figure render",
     "apps": "apps list",
     "verify": "verify run",
+    # The recorded-trace verbs briefly shipped under the singular noun;
+    # they now live on `traces` (the `trace` noun is the obs layer).
+    "trace record": "traces record",
+    "trace convert": "traces convert",
+    "trace info": "traces info",
+    "trace validate": "traces validate",
+    "trace replay": "traces replay",
 }
 
 
@@ -316,6 +337,89 @@ def _configure_trace_run(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _configure_traces_record(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", choices=ALL_APPS)
+    parser.add_argument(
+        "--trace-seed", type=int, default=0, help="workload trace seed"
+    )
+    parser.add_argument(
+        "--chunk-records",
+        type=int,
+        default=None,
+        help="records per compressed chunk (default: format default)",
+    )
+    parser.add_argument(
+        "--codec",
+        choices=("zstd", "zlib"),
+        default=None,
+        help="chunk codec (default: zstd when available, else zlib)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON")
+
+
+def _configure_traces_convert(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("src", help="CSV/text op listing to convert")
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help="core count (default: max core id in the input + 1)",
+    )
+    parser.add_argument(
+        "--app", default="imported", help="app name stored in the header"
+    )
+    parser.add_argument(
+        "--chunk-records",
+        type=int,
+        default=None,
+        help="records per compressed chunk (default: format default)",
+    )
+    parser.add_argument(
+        "--codec",
+        choices=("zstd", "zlib"),
+        default=None,
+        help="chunk codec (default: zstd when available, else zlib)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON")
+
+
+def _configure_traces_info(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("path", help="trace file to summarize")
+    parser.add_argument("--json", action="store_true", help="emit JSON")
+
+
+def _configure_traces_validate(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("path", help="trace file to scan")
+    parser.add_argument("--json", action="store_true", help="emit JSON")
+
+
+def _configure_traces_replay(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("path", help="trace file to replay")
+    parser.add_argument(
+        "--protocol", choices=backend_names(), default="widir"
+    )
+    parser.add_argument("--seed", type=int, default=42, help="machine seed")
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        help="segment the replay with a machine snapshot roughly every N "
+        "chunks per core (0: continuous, digest-identical to the live run)",
+    )
+    parser.add_argument(
+        "--snapshot-path",
+        default=None,
+        help="durable snapshot file: a killed replay resumes from it with "
+        "a byte-identical final digest (removed after a completed run)",
+    )
+    parser.add_argument(
+        "--expect-trace-id",
+        default="",
+        help="fail unless the file's content digest matches",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON")
+
+
 def _configure_campaign_common(parser: argparse.ArgumentParser) -> None:
     """Supervision knobs shared by ``campaign run`` and ``campaign resume``."""
     group = parser.add_argument_group("supervision")
@@ -364,14 +468,15 @@ def _configure_campaign_run(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--sweep",
-        choices=("protocols", "thresholds"),
+        choices=("protocols", "thresholds", "trace"),
         default="protocols",
-        help="run matrix: Baseline-vs-WiDir pairs, or a MaxWiredSharers "
-        "threshold sweep",
+        help="run matrix: Baseline-vs-WiDir pairs, a MaxWiredSharers "
+        "threshold sweep, or barrier-safe shards of one recorded trace",
     )
     parser.add_argument(
-        "--apps", required=True,
-        help="comma-separated app list, or 'all'",
+        "--apps", default=None,
+        help="comma-separated app list, or 'all' (required unless "
+        "--sweep trace)",
     )
     parser.add_argument(
         "--thresholds", default="2,3,4,5",
@@ -384,6 +489,14 @@ def _configure_campaign_run(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--trace-seed", type=int, default=0, help="workload trace seed"
+    )
+    parser.add_argument(
+        "--trace-path", default=None,
+        help="recorded trace file for --sweep trace",
+    )
+    parser.add_argument(
+        "--trace-shards", type=int, default=0,
+        help="shard-window count for --sweep trace (<= 1: whole trace)",
     )
     _configure_campaign_common(parser)
 
@@ -420,10 +533,10 @@ def _configure_campaign_serve(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--sweep",
-        choices=("protocols", "thresholds"),
+        choices=("protocols", "thresholds", "trace"),
         default="protocols",
-        help="run matrix: Baseline-vs-WiDir pairs, or a MaxWiredSharers "
-        "threshold sweep",
+        help="run matrix: Baseline-vs-WiDir pairs, a MaxWiredSharers "
+        "threshold sweep, or barrier-safe shards of one recorded trace",
     )
     parser.add_argument(
         "--apps",
@@ -442,6 +555,14 @@ def _configure_campaign_serve(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--trace-seed", type=int, default=0, help="workload trace seed"
+    )
+    parser.add_argument(
+        "--trace-path", default=None,
+        help="recorded trace file for --sweep trace",
+    )
+    parser.add_argument(
+        "--trace-shards", type=int, default=0,
+        help="shard-window count for --sweep trace (<= 1: whole trace)",
     )
     group = parser.add_argument_group("distributed")
     group.add_argument(
@@ -584,7 +705,7 @@ def build_parser() -> argparse.ArgumentParser:
     nouns = parser.add_subparsers(
         dest="command",
         required=True,
-        metavar="{sim,figure,apps,verify,trace,campaign}",
+        metavar="{sim,figure,apps,verify,trace,traces,campaign}",
     )
     execution = _execution_parent()
 
@@ -698,6 +819,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=40, help="timeline rows to print"
     )
 
+    # ---- traces (recorded-trace subsystem; distinct from obs `trace`) --
+    traces = nouns.add_parser(
+        "traces",
+        help="record / convert / inspect / replay canonical trace files",
+    )
+    traces_verbs = traces.add_subparsers(dest="verb", required=True)
+    traces_record = traces_verbs.add_parser(
+        "record",
+        help="record an app's reference stream into a trace file",
+        parents=[
+            _machine_parent(),
+            _out_parent(None, "trace output path (required)"),
+        ],
+    )
+    _configure_traces_record(traces_record)
+    traces_convert = traces_verbs.add_parser(
+        "convert",
+        help="convert an external CSV op listing into the trace format",
+        parents=[_out_parent(None, "trace output path (required)")],
+    )
+    _configure_traces_convert(traces_convert)
+    traces_info = traces_verbs.add_parser(
+        "info", help="print a trace file's header/index summary"
+    )
+    _configure_traces_info(traces_info)
+    traces_validate = traces_verbs.add_parser(
+        "validate",
+        help="full-scan integrity check (decompress + CRC every chunk)",
+    )
+    _configure_traces_validate(traces_validate)
+    traces_replay = traces_verbs.add_parser(
+        "replay",
+        help="replay a recorded trace through the full machine",
+    )
+    _configure_traces_replay(traces_replay)
+
     # ---- campaign ------------------------------------------------------
     campaign = nouns.add_parser(
         "campaign",
@@ -780,6 +937,30 @@ def build_parser() -> argparse.ArgumentParser:
     # above requires a verb, so route the bare spelling through a default.
     apps_verbs.required = False
     apps.set_defaults(verb="list")
+
+    # Singular spellings of the recorded-trace verbs (`repro trace record`
+    # etc.) route to the `traces` noun with a deprecation notice; the
+    # `trace` noun itself stays the observability layer.
+    for verb, configure in (
+        ("record", _configure_traces_record),
+        ("convert", _configure_traces_convert),
+        ("info", _configure_traces_info),
+        ("validate", _configure_traces_validate),
+        ("replay", _configure_traces_replay),
+    ):
+        parents = []
+        if verb == "record":
+            parents = [
+                _machine_parent(),
+                _out_parent(None, "trace output path (required)"),
+            ]
+        elif verb == "convert":
+            parents = [_out_parent(None, "trace output path (required)")]
+        legacy = trace_verbs.add_parser(verb, parents=parents)
+        configure(legacy)
+        legacy.set_defaults(
+            command="traces", verb=verb, _deprecated=f"trace {verb}"
+        )
 
     return parser
 
@@ -1209,6 +1390,101 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 1 if orphans else 0
 
 
+def _cmd_traces(args: argparse.Namespace) -> int:
+    """``traces record/convert/info/validate/replay`` — the recorded-trace
+    subsystem (:mod:`repro.traces`; see docs/TRACES.md)."""
+    from repro import api
+    from repro.traces import TraceCorruptionError, TraceFormatError
+    from repro.traces.replay import result_digest
+
+    def show(info, extra: str = "") -> None:
+        if getattr(args, "json", False):
+            print(json.dumps(info.details, indent=2, sort_keys=True))
+            return
+        print(
+            f"{info.path}: {info.app} x {info.num_cores} cores, "
+            f"{info.records:,} records in {info.chunks} chunks "
+            f"({info.codec}, {info.file_bytes:,} bytes, "
+            f"{info.compression_ratio:.1f}x)"
+        )
+        print(f"  trace_id: {info.trace_id}")
+        if extra:
+            print(f"  {extra}")
+
+    try:
+        if args.verb == "record":
+            if args.out is None:
+                print("traces record requires --out PATH", file=sys.stderr)
+                return 2
+            info = api.record_trace(
+                args.app,
+                out=args.out,
+                cores=args.cores,
+                memops=args.memops,
+                trace_seed=args.trace_seed,
+                chunk_records=args.chunk_records,
+                codec=args.codec,
+            )
+            show(info)
+            return 0
+        if args.verb == "convert":
+            if args.out is None:
+                print("traces convert requires --out PATH", file=sys.stderr)
+                return 2
+            info = api.convert_trace(
+                args.src,
+                out=args.out,
+                cores=args.cores,
+                app=args.app,
+                chunk_records=args.chunk_records,
+                codec=args.codec,
+            )
+            show(info)
+            return 0
+        if args.verb == "info":
+            show(api.trace_info(args.path))
+            return 0
+        if args.verb == "validate":
+            info = api.validate_trace(args.path)
+            if getattr(args, "json", False):
+                print(json.dumps(info.details, indent=2, sort_keys=True))
+            else:
+                print(
+                    f"{info.path}: OK — {info.records:,} records in "
+                    f"{info.chunks} chunks, trace_id {info.trace_id}"
+                )
+            return 0
+
+        # replay
+        result = api.replay(
+            args.path,
+            protocol=args.protocol,
+            seed=args.seed,
+            snapshot_every=args.snapshot_every,
+            snapshot_path=args.snapshot_path,
+            expect_trace_id=args.expect_trace_id,
+        )
+        if args.json:
+            print(
+                json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+            )
+            return 0
+        print(
+            f"{result.app} replayed on {args.protocol}: "
+            f"{result.cycles:,} cycles"
+        )
+        print(f"  L1 MPKI       : {result.mpki:.2f}")
+        print(f"  memory stall  : {result.memory_stall_fraction:.1%}")
+        print(f"  result digest : {result_digest(result)}")
+        return 0
+    except TraceCorruptionError as error:
+        print(f"trace corrupt: {error}", file=sys.stderr)
+        return 1
+    except (TraceFormatError, OSError) as error:
+        print(f"trace error: {error}", file=sys.stderr)
+        return 2
+
+
 def _cmd_apps_list(_args: argparse.Namespace) -> int:
     if getattr(_args, "protocols", False):
         from repro.coherence.backend import registered_backends
@@ -1235,6 +1511,58 @@ def _parse_protocols(value: str) -> Tuple[str, ...]:
     if value.strip() == "all":
         return backend_names()
     return tuple(name.strip() for name in value.split(",") if name.strip())
+
+
+def _campaign_spec_from_args(args: argparse.Namespace, directory):
+    """Build a :class:`CampaignSpec` from ``campaign run/serve`` flags.
+
+    Prints a usage error and returns ``None`` when the flags are invalid
+    (missing apps for generator sweeps, missing --trace-path for trace
+    sweeps, unknown app names).
+    """
+    from repro.harness.campaign import CampaignSpec
+
+    if args.sweep == "trace":
+        if not args.trace_path:
+            print(
+                "campaign --sweep trace requires --trace-path FILE",
+                file=sys.stderr,
+            )
+            return None
+        apps = ()
+    else:
+        if not args.apps:
+            print(
+                "campaign requires --apps (unless --sweep trace)",
+                file=sys.stderr,
+            )
+            return None
+        apps = (
+            ALL_APPS
+            if args.apps.strip() == "all"
+            else tuple(
+                name.strip() for name in args.apps.split(",") if name.strip()
+            )
+        )
+        unknown = [a for a in apps if a not in APP_PROFILES]
+        if unknown:
+            print(f"unknown apps: {', '.join(unknown)}", file=sys.stderr)
+            return None
+    return CampaignSpec(
+        name=args.name if args.name else directory.name,
+        kind=args.sweep,
+        apps=apps,
+        cores=(args.cores,),
+        memops=args.memops,
+        seed=args.seed,
+        thresholds=tuple(
+            int(t) for t in args.thresholds.split(",") if t.strip()
+        ),
+        trace_seed=args.trace_seed,
+        protocols=_parse_protocols(args.protocols),
+        trace_path=args.trace_path or "",
+        trace_shards=args.trace_shards,
+    )
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -1297,32 +1625,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 print("campaign run requires --out DIR", file=sys.stderr)
                 return 2
             directory = Path(args.out)
-            apps = (
-                ALL_APPS
-                if args.apps.strip() == "all"
-                else tuple(
-                    name.strip()
-                    for name in args.apps.split(",")
-                    if name.strip()
-                )
-            )
-            unknown = [a for a in apps if a not in APP_PROFILES]
-            if unknown:
-                print(f"unknown apps: {', '.join(unknown)}", file=sys.stderr)
+            spec = _campaign_spec_from_args(args, directory)
+            if spec is None:
                 return 2
-            spec = CampaignSpec(
-                name=args.name if args.name else directory.name,
-                kind=args.sweep,
-                apps=apps,
-                cores=(args.cores,),
-                memops=args.memops,
-                seed=args.seed,
-                thresholds=tuple(
-                    int(t) for t in args.thresholds.split(",") if t.strip()
-                ),
-                trace_seed=args.trace_seed,
-                protocols=_parse_protocols(args.protocols),
-            )
         else:  # resume
             directory = Path(args.dir)
             spec = None
@@ -1433,33 +1738,10 @@ def _cmd_campaign_serve(args: argparse.Namespace) -> int:
         return 2
     directory = Path(args.out)
     spec = None
-    if args.apps:
-        apps = (
-            ALL_APPS
-            if args.apps.strip() == "all"
-            else tuple(
-                name.strip()
-                for name in args.apps.split(",")
-                if name.strip()
-            )
-        )
-        unknown = [a for a in apps if a not in APP_PROFILES]
-        if unknown:
-            print(f"unknown apps: {', '.join(unknown)}", file=sys.stderr)
+    if args.apps or (args.sweep == "trace" and args.trace_path):
+        spec = _campaign_spec_from_args(args, directory)
+        if spec is None:
             return 2
-        spec = CampaignSpec(
-            name=args.name if args.name else directory.name,
-            kind=args.sweep,
-            apps=apps,
-            cores=(args.cores,),
-            memops=args.memops,
-            seed=args.seed,
-            thresholds=tuple(
-                int(t) for t in args.thresholds.split(",") if t.strip()
-            ),
-            trace_seed=args.trace_seed,
-            protocols=_parse_protocols(args.protocols),
-        )
 
     telemetry = CampaignTelemetry()
     try:
@@ -1617,6 +1899,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         ("trace", "run"): _cmd_trace,
         ("trace", "export"): _cmd_trace,
         ("trace", "summarize"): _cmd_trace,
+        ("traces", "record"): _cmd_traces,
+        ("traces", "convert"): _cmd_traces,
+        ("traces", "info"): _cmd_traces,
+        ("traces", "validate"): _cmd_traces,
+        ("traces", "replay"): _cmd_traces,
         ("campaign", "run"): _cmd_campaign,
         ("campaign", "resume"): _cmd_campaign,
         ("campaign", "status"): _cmd_campaign,

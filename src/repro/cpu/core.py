@@ -98,6 +98,7 @@ class Core:
         self._blocking: List[bool] = []
         self._trace_len = 0
         self._pc = 0
+        self._chunk_source: Optional[Callable[[], Optional[TraceChunk]]] = None
         self._outstanding_loads = 0
         self._wb_occupancy = 0
         self._stall_started: Optional[int] = None
@@ -137,16 +138,32 @@ class Core:
 
     # --------------------------------------------------------------- control
 
-    def run_trace(self, trace, on_finish=None) -> None:
+    def run_trace(self, trace, on_finish=None, chunk_source=None) -> None:
         """Begin executing ``trace``; ``on_finish(core)`` fires at completion.
 
         ``trace`` is a :class:`~repro.cpu.trace.TraceChunk` (the native
         format) or a legacy list of :class:`TraceOp`, converted once here.
         The chunk's columns are bound to attributes so :meth:`_step` walks
         flat scalar lists with no per-op object in sight.
+
+        ``chunk_source``, if given, is a zero-argument callable polled when
+        the bound chunk drains: it returns the next :class:`TraceChunk` or
+        ``None`` for end-of-stream. The refill happens synchronously inside
+        :meth:`_step` — no event is scheduled, no simulated time passes —
+        so a streamed trace produces the *identical* event sequence to the
+        same ops presented as one monolithic chunk. This is what lets the
+        trace-replay frontend drive a billion-reference file in O(chunk)
+        memory.
         """
         if not isinstance(trace, TraceChunk):
             trace = TraceChunk.from_ops(trace)
+        self._chunk_source = chunk_source
+        self._bind_chunk(trace)
+        self._finished = False
+        self._on_finish = on_finish
+        self.sim.schedule(0, self._step)
+
+    def _bind_chunk(self, trace: TraceChunk) -> None:
         self._trace = trace
         self._kinds = trace.kinds
         self._addresses = trace.addresses
@@ -155,9 +172,6 @@ class Core:
         self._blocking = trace.blocking
         self._trace_len = len(trace.kinds)
         self._pc = 0
-        self._finished = False
-        self._on_finish = on_finish
-        self.sim.schedule(0, self._step)
 
     @property
     def finished(self) -> bool:
@@ -178,34 +192,48 @@ class Core:
         kinds = self._kinds
         addresses = self._addresses
         trace_len = self._trace_len
-        while self._pc < trace_len:
-            pc = self._pc
-            kind = kinds[pc]
-            if kind == OP_THINK:
-                self._pc = pc + 1
-                arg = self._args[pc]
-                self.result.instructions += arg
-                self._instr.value += arg
-                self._instr_total.value += arg
-                cycles = max(1, -(-arg // self._issue_width))
-                self._schedule(cycles, self._step)
-                return
-            if kind == OP_LOAD:
-                if not self._issue_load(addresses[pc], self._blocking[pc]):
+        while True:
+            while self._pc < trace_len:
+                pc = self._pc
+                kind = kinds[pc]
+                if kind == OP_THINK:
+                    self._pc = pc + 1
+                    arg = self._args[pc]
+                    self.result.instructions += arg
+                    self._instr.value += arg
+                    self._instr_total.value += arg
+                    cycles = max(1, -(-arg // self._issue_width))
+                    self._schedule(cycles, self._step)
                     return
-                continue
-            if kind == OP_STORE:
-                if not self._issue_store(addresses[pc], self._values[pc]):
-                    return
-                continue
-            if kind == OP_RMW:
-                if not self._issue_rmw(addresses[pc]):
-                    return
-                continue
-            if kind == OP_BARRIER:
-                if not self._issue_barrier(self._args[pc]):
-                    return
-                continue
+                if kind == OP_LOAD:
+                    if not self._issue_load(addresses[pc], self._blocking[pc]):
+                        return
+                    continue
+                if kind == OP_STORE:
+                    if not self._issue_store(addresses[pc], self._values[pc]):
+                        return
+                    continue
+                if kind == OP_RMW:
+                    if not self._issue_rmw(addresses[pc]):
+                        return
+                    continue
+                if kind == OP_BARRIER:
+                    if not self._issue_barrier(self._args[pc]):
+                        return
+                    continue
+            # Chunk drained: synchronously pull the next one if streaming.
+            # Rebinding inside the wake-up keeps the event stream identical
+            # to a monolithic trace — no time passes, nothing is scheduled.
+            if self._chunk_source is None:
+                break
+            chunk = self._chunk_source()
+            if chunk is None:
+                self._chunk_source = None
+                break
+            self._bind_chunk(chunk)
+            kinds = self._kinds
+            addresses = self._addresses
+            trace_len = self._trace_len
         # Trace drained: the core retires once all memory traffic lands.
         if self._outstanding_loads or self._wb_occupancy:
             self._block("memory", self._no_outstanding)

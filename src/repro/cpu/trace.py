@@ -157,10 +157,28 @@ class TraceChunk:
             append(op)
         return chunk
 
+    def extend(self, other: "TraceChunk") -> None:
+        """Append every op of ``other`` (column-wise, no per-op objects)."""
+        self.kinds.extend(other.kinds)
+        self.addresses.extend(other.addresses)
+        self.values.extend(other.values)
+        self.args.extend(other.args)
+        self.blocking.extend(other.blocking)
+
     # ------------------------------------------------------------- views
 
     def __len__(self) -> int:
         return len(self.kinds)
+
+    def slice(self, start: int, stop: int) -> "TraceChunk":
+        """A new chunk holding ops ``[start, stop)`` (columns are copies)."""
+        piece = TraceChunk()
+        piece.kinds = self.kinds[start:stop]
+        piece.addresses = self.addresses[start:stop]
+        piece.values = self.values[start:stop]
+        piece.args = self.args[start:stop]
+        piece.blocking = self.blocking[start:stop]
+        return piece
 
     def op(self, index: int) -> TraceOp:
         """Materialize one op as a :class:`TraceOp` view (a copy: mutating

@@ -81,7 +81,7 @@ DIGEST_NAME = "digest.txt"
 PROVENANCE_NAME = "provenance.json"
 
 #: Sweep kinds a spec can declare (each builds its plan deterministically).
-SWEEP_KINDS = ("protocols", "thresholds")
+SWEEP_KINDS = ("protocols", "thresholds", "trace")
 
 
 class CampaignError(RuntimeError):
@@ -113,13 +113,25 @@ class CampaignSpec:
     #: :func:`repro.coherence.backend.backend_names`. Validated at spec
     #: construction so a typo fails before any run is journalled.
     protocols: Tuple[str, ...] = ("baseline", "widir")
+    #: ``kind="trace"`` only: the recorded trace file the campaign fans
+    #: out, its pinned content digest (read from the file when empty),
+    #: and how many barrier-safe shards to cut it into (<= 1 replays the
+    #: whole trace as a single run per protocol).
+    trace_path: str = ""
+    trace_id: str = ""
+    trace_shards: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in SWEEP_KINDS:
             raise ValueError(
                 f"unknown sweep kind {self.kind!r}; known: {SWEEP_KINDS}"
             )
-        if not self.apps:
+        if self.kind == "trace":
+            if not self.trace_path:
+                raise ValueError(
+                    "a kind='trace' campaign needs trace_path"
+                )
+        elif not self.apps:
             raise ValueError("a campaign needs at least one app")
         if not self.protocols:
             raise ValueError("a campaign needs at least one protocol")
@@ -137,6 +149,9 @@ class CampaignSpec:
             "thresholds": list(self.thresholds),
             "trace_seed": self.trace_seed,
             "protocols": list(self.protocols),
+            "trace_path": self.trace_path,
+            "trace_id": self.trace_id,
+            "trace_shards": self.trace_shards,
         }
 
     @classmethod
@@ -153,6 +168,9 @@ class CampaignSpec:
             # Manifests written before the pluggable-backend refactor
             # predate this key; they always meant the classic pair.
             protocols=tuple(payload.get("protocols", ("baseline", "widir"))),
+            trace_path=payload.get("trace_path", ""),
+            trace_id=payload.get("trace_id", ""),
+            trace_shards=payload.get("trace_shards", 0),
         )
 
     def build(self) -> Tuple[ExperimentPlan, List[str]]:
@@ -164,6 +182,8 @@ class CampaignSpec:
             plan.add(app, config, self.memops, self.trace_seed)
             labels.append(label_for(app, config))
 
+        if self.kind == "trace":
+            return self._build_trace()
         if self.kind == "protocols":
             for app in self.apps:
                 for cores in self.cores:
@@ -187,6 +207,57 @@ class CampaignSpec:
                                 seed=self.seed,
                             ),
                         )
+        return plan, labels
+
+    def _build_trace(self) -> Tuple[ExperimentPlan, List[str]]:
+        """``kind="trace"``: fan one recorded trace across shard windows.
+
+        Shard boundaries come from the barrier-safe planner over the
+        trace's footer index — a pure function of the file and
+        ``trace_shards`` — so a resumed (or distributed) campaign
+        recomputes the identical matrix. The per-shard runs are replayed
+        cold and merge via
+        :func:`repro.traces.sharding.merge_window_results`.
+        """
+        from repro.traces.format import TraceReader
+        from repro.traces.sharding import plan_windows
+
+        plan = ExperimentPlan()
+        labels: List[str] = []
+        with TraceReader(self.trace_path) as reader:
+            trace_id = self.trace_id or reader.trace_id
+            app = reader.app or "trace"
+            num_cores = reader.num_cores
+            windows = None
+            if self.trace_shards > 1:
+                max_chunks = max(
+                    reader.num_chunks(core) for core in range(num_cores)
+                )
+                stride = max(1, max_chunks // self.trace_shards)
+                windows = plan_windows(
+                    reader, stride, max_windows=self.trace_shards
+                )
+        stem = Path(self.trace_path).stem or "trace"
+        for protocol in self.protocols:
+            config = protocol_config(
+                protocol, num_cores=num_cores, seed=self.seed
+            )
+            base = label_for(app, config)
+            if windows is None:
+                plan.add_trace(
+                    self.trace_path, config, trace_id=trace_id, app=app
+                )
+                labels.append(f"{base}/{stem}")
+            else:
+                for index, window in enumerate(windows):
+                    plan.add_trace(
+                        self.trace_path,
+                        config,
+                        trace_id=trace_id,
+                        window=tuple(tuple(span) for span in window),
+                        app=app,
+                    )
+                    labels.append(f"{base}/{stem}/shard{index:03d}")
         return plan, labels
 
 

@@ -767,18 +767,29 @@ class Coordinator:
             }
         )
         self._emit({"event": "queue-depth", "depth": len(self.queued)})
+        spec: Dict[str, object] = {
+            "app": request.app,
+            "config": request.config.to_dict(),
+            "memops": request.memops,
+            "trace_seed": request.trace_seed,
+        }
+        # Trace-replay fields ride along only when set, so grants from
+        # generator-driven campaigns are byte-identical to pre-trace peers
+        # (older workers reject trace grants via the run-key cross-check).
+        if request.trace_path:
+            spec["trace_path"] = request.trace_path
+            spec["trace_id"] = request.trace_id
+            if request.trace_window is not None:
+                spec["trace_window"] = [
+                    list(span) for span in request.trace_window
+                ]
         return {
             "kind": "run",
             "key": entry.key,
             "shard": entry.shard,
             "attempt": entry.attempt,
             "stolen": stolen,
-            "request": {
-                "app": request.app,
-                "config": request.config.to_dict(),
-                "memops": request.memops,
-                "trace_seed": request.trace_seed,
-            },
+            "request": spec,
         }
 
     def _empty(self) -> Dict:
@@ -1078,11 +1089,19 @@ class WorkerAgent:
                 seconds,
             )
         spec = grant["request"]
+        window = spec.get("trace_window")
         request = RunRequest(
             app=spec["app"],
             config=SystemConfig.from_dict(spec["config"]),
             memops=int(spec["memops"]),
             trace_seed=int(spec.get("trace_seed", 0)),
+            trace_path=str(spec.get("trace_path", "")),
+            trace_id=str(spec.get("trace_id", "")),
+            trace_window=(
+                tuple((int(a), int(b)) for a, b in window)
+                if window is not None
+                else None
+            ),
         )
         expected = run_key(request)
         if expected != grant["key"]:

@@ -69,22 +69,48 @@ _ENV_CACHE = "REPRO_CACHE"
 
 @dataclass(frozen=True)
 class RunRequest:
-    """One simulation the harness wants: app on machine for memops refs."""
+    """One simulation the harness wants: app on machine for memops refs.
+
+    A request either *synthesizes* its reference stream (the default:
+    ``app``/``memops``/``trace_seed`` drive the workload generator) or
+    *replays* a recorded trace file: ``trace_path`` names the file,
+    ``trace_id`` pins its content digest (verified before the run — a
+    re-recorded file at the same path misses the cache instead of
+    silently serving stale results), and ``trace_window`` optionally
+    narrows the run to one barrier-safe chunk window (the sharded-
+    campaign unit, replayed cold).
+    """
 
     app: str
     config: SystemConfig
     memops: int
     trace_seed: int = 0
+    trace_path: str = ""
+    trace_id: str = ""
+    trace_window: Optional[Tuple[Tuple[int, int], ...]] = None
 
     def canonical(self) -> Dict:
-        """JSON-stable description; the hash input for :func:`run_key`."""
-        return {
+        """JSON-stable description; the hash input for :func:`run_key`.
+
+        Trace fields are included only when set, so the keys (and the
+        on-disk cache entries) of every pre-existing generator-driven
+        request are byte-identical to before trace replay existed. The
+        key covers ``trace_id`` — the content digest — not the file
+        path: the same reference stream is the same run wherever the
+        file lives.
+        """
+        payload = {
             "schema": CACHE_SCHEMA_VERSION,
             "app": self.app,
             "config": self.config.to_dict(),
             "memops": self.memops,
             "trace_seed": self.trace_seed,
         }
+        if self.trace_path:
+            payload["trace_id"] = self.trace_id
+            if self.trace_window is not None:
+                payload["trace_window"] = [list(span) for span in self.trace_window]
+        return payload
 
 
 def run_key(request: RunRequest) -> str:
@@ -147,6 +173,44 @@ class ExperimentPlan:
         )
         return base, widir
 
+    def add_trace(
+        self,
+        trace_path: Union[str, Path],
+        config: SystemConfig,
+        trace_id: str = "",
+        window: Optional[Tuple[Tuple[int, int], ...]] = None,
+        app: str = "",
+    ) -> int:
+        """Append a recorded-trace replay run; returns its index.
+
+        ``trace_id`` is read from the file when not supplied (one cheap
+        header+index parse). ``window`` restricts the run to one
+        barrier-safe chunk window, replayed cold (see
+        :mod:`repro.traces.sharding`).
+        """
+        from repro.traces.format import TraceReader
+
+        path = str(trace_path)
+        if not trace_id or not app:
+            with TraceReader(path) as reader:
+                trace_id = trace_id or reader.trace_id
+                app = app or reader.app or "trace"
+        span = None
+        if window is not None:
+            span = tuple((int(a), int(b)) for a, b in window)
+        self.requests.append(
+            RunRequest(
+                app,
+                config,
+                0,
+                0,
+                trace_path=path,
+                trace_id=trace_id,
+                trace_window=span,
+            )
+        )
+        return len(self.requests) - 1
+
     def unique_keys(self) -> List[str]:
         """Distinct run keys in first-occurrence order."""
         seen: Dict[str, None] = {}
@@ -176,9 +240,26 @@ def _simulate(request: RunRequest) -> Tuple[Dict, float]:
     the cache stores, so every execution mode shares one canonical form.
     """
     started = time.perf_counter()
-    result = run_app(
-        request.app, request.config, request.memops, request.trace_seed
-    )
+    if request.trace_path:
+        from repro.traces.replay import replay_trace, replay_window
+
+        if request.trace_window is not None:
+            result = replay_window(
+                request.trace_path,
+                request.config,
+                request.trace_window,
+                expect_trace_id=request.trace_id,
+            )
+        else:
+            result = replay_trace(
+                request.trace_path,
+                request.config,
+                expect_trace_id=request.trace_id,
+            )
+    else:
+        result = run_app(
+            request.app, request.config, request.memops, request.trace_seed
+        )
     return result.to_dict(), time.perf_counter() - started
 
 

@@ -1,0 +1,213 @@
+"""Barrier-safe trace partitioning + deterministic result merging.
+
+A cut through a multi-core trace is *safe* only where every core has
+completed the same number of barrier operations: a window that hands one
+core ops beyond barrier ``B`` while another core's window stops short of
+``B`` parks the first core at the barrier forever (its release depends
+on ops outside the window). :func:`plan_segments` finds such cuts from
+the per-chunk barrier counts in the trace footer index — no payload is
+decompressed — by fix-point equalization: propose a cut every ~N chunks,
+then advance each core's cut until all cumulative barrier counts agree.
+
+The same plan serves two executions:
+
+* **Segmented replay** (:func:`repro.traces.replay.replay_trace` with
+  ``snapshot_every``): machine state flows across cuts via snapshots;
+  cuts are quiescent points.
+* **Sharded campaigns**: each window from :func:`plan_windows` is
+  replayed *cold* (cycle 0, empty caches) on whichever worker claims
+  it, and :func:`merge_window_results` folds the per-window results —
+  sums of counters and histogram bins, windows in plan order — into one
+  result that is identical no matter how many workers ran or in what
+  order they finished. Windowed-replay totals are their own
+  deterministic quantity (each window cold-starts, so they differ from
+  a continuous replay's totals — by design, and by the same reasoning
+  as the segmented digest being a function of the snapshot interval).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.traces.format import TraceFormatError, TraceReader
+
+#: Per-core chunk cut positions for one segment boundary.
+Cut = List[int]
+#: Per-core (start_chunk, stop_chunk) ranges for one window.
+Window = List[Tuple[int, int]]
+
+
+def plan_segments(reader: TraceReader, chunks_per_segment: int) -> List[Cut]:
+    """Cumulative barrier-safe cuts, roughly ``chunks_per_segment`` apart.
+
+    Returns a list of cuts; each cut is a per-core chunk index, strictly
+    increasing for at least one core per step, with the final cut always
+    the end of the trace. A proposed cut is advanced per-core until every
+    core's cumulative barrier count at its cut agrees; if the counts
+    cannot be equalized (imported traces with uneven barrier use), the
+    remainder of the trace becomes a single final segment.
+    """
+    if chunks_per_segment <= 0:
+        raise ValueError("chunks_per_segment must be positive")
+    num_cores = reader.num_cores
+    cum = [reader.barrier_counts(core) for core in range(num_cores)]
+    totals = [reader.num_chunks(core) for core in range(num_cores)]
+
+    def barriers_before(core: int, index: int) -> int:
+        return cum[core][index - 1] if index > 0 else 0
+
+    cuts: List[Cut] = []
+    starts = [0] * num_cores
+    while any(starts[c] < totals[c] for c in range(num_cores)):
+        ends = [
+            min(starts[c] + chunks_per_segment, totals[c])
+            for c in range(num_cores)
+        ]
+        # Fix point: lift every core to the running max barrier count.
+        # Ends are monotone non-decreasing and bounded by the totals, so
+        # this terminates; a core that overshoots (a chunk holding several
+        # barriers) raises the max and pulls the others along.
+        while True:
+            target = max(barriers_before(c, ends[c]) for c in range(num_cores))
+            moved = False
+            for c in range(num_cores):
+                while ends[c] < totals[c] and barriers_before(c, ends[c]) < target:
+                    ends[c] += 1
+                    moved = True
+            if not moved:
+                break
+        balanced = len({barriers_before(c, ends[c]) for c in range(num_cores)}) == 1
+        at_end = all(ends[c] == totals[c] for c in range(num_cores))
+        if not balanced and not at_end:
+            # No equalizable boundary ahead: finish in one final segment.
+            ends = list(totals)
+        if ends == starts:  # pragma: no cover - defensive against stalls
+            ends = list(totals)
+        cuts.append(list(ends))
+        starts = ends
+    if not cuts:  # empty trace: one no-op segment keeps callers uniform
+        cuts.append(list(totals))
+    return cuts
+
+
+def plan_windows(
+    path_or_reader, chunks_per_window: int, max_windows: int = 0
+) -> List[Window]:
+    """Barrier-safe ``(start, stop)`` chunk windows covering the trace.
+
+    Accepts a path or an open :class:`TraceReader`. ``max_windows`` > 0
+    re-plans with a coarser stride until the plan fits — the campaign
+    frontend uses this to match a requested shard count.
+    """
+    if isinstance(path_or_reader, TraceReader):
+        return _plan_windows(path_or_reader, chunks_per_window, max_windows)
+    with TraceReader(path_or_reader) as reader:
+        return _plan_windows(reader, chunks_per_window, max_windows)
+
+
+def _plan_windows(
+    reader: TraceReader, chunks_per_window: int, max_windows: int
+) -> List[Window]:
+    stride = chunks_per_window
+    while True:
+        cuts = plan_segments(reader, stride)
+        if max_windows <= 0 or len(cuts) <= max_windows:
+            break
+        stride *= 2
+    windows: List[Window] = []
+    previous = [0] * reader.num_cores
+    for cut in cuts:
+        windows.append(
+            [(previous[c], cut[c]) for c in range(reader.num_cores)]
+        )
+        previous = cut
+    return windows
+
+
+# ------------------------------------------------------------------ merging
+
+
+def merge_window_results(results: Sequence, config, app: str = ""):
+    """Fold per-window results (in plan order) into one machine-level result.
+
+    Additive fields (instructions, stalls, latency totals, misses,
+    counters, histogram bins) sum; ``cycles`` sums too, since every
+    window restarts its clock at zero — merged cycles are total simulated
+    cycles across the plan, matching a sequential single-box replay of
+    the same windows. Collision probability and energy are *recomputed*
+    from the merged statistics rather than averaged, so the merge is
+    exact, associative, and worker-count-invariant.
+    """
+    from repro.energy.models import EnergyModel
+    from repro.harness.runner import SimulationResult
+    from repro.stats.collectors import Histogram, StatsRegistry
+
+    if not results:
+        raise ValueError("no window results to merge")
+    app = app or results[0].app
+
+    cycles = 0
+    counters: Dict[str, int] = {}
+    sharer_hist: Dict[str, int] = {}
+    hop_hist: Dict[str, int] = {}
+    merged_latency = Histogram("memory_latency")
+    memory_stalls = sync_stalls = 0
+    load_total = store_total = 0
+    for result in results:
+        cycles += result.cycles
+        memory_stalls += result.memory_stall_cycles
+        sync_stalls += result.sync_stall_cycles
+        load_total += result.load_latency_total
+        store_total += result.store_latency_total
+        for name, value in result.stats_counters.items():
+            counters[name] = counters.get(name, 0) + value
+        for label, value in result.sharer_histogram.items():
+            sharer_hist[label] = sharer_hist.get(label, 0) + value
+        for label, value in result.hop_histogram.items():
+            hop_hist[label] = hop_hist.get(label, 0) + value
+        if result.latency_histogram:
+            merged_latency.merge(Histogram.from_dict(result.latency_histogram))
+
+    registry = StatsRegistry("merged")
+    for name, value in counters.items():
+        registry.counter(name).value = value
+    attempts = counters.get("wnoc.attempts", 0)
+    collision_prob = (
+        counters.get("wnoc.collisions", 0) / attempts if attempts else 0.0
+    )
+    energy = EnergyModel().compute(config, registry, cycles)
+
+    return SimulationResult(
+        app=app,
+        config=config,
+        cycles=cycles,
+        instructions=counters.get("core.total.instructions", 0),
+        memory_stall_cycles=memory_stalls,
+        sync_stall_cycles=sync_stalls,
+        load_latency_total=load_total,
+        store_latency_total=store_total,
+        read_misses=counters.get("l1.total.read_misses", 0),
+        write_misses=counters.get("l1.total.write_misses", 0),
+        wireless_writes=counters.get("l1.total.wireless_writes", 0),
+        sharer_histogram=sharer_hist,
+        hop_histogram=hop_hist,
+        collision_probability=collision_prob,
+        energy=energy,
+        stats_counters=counters,
+        latency_histogram=merged_latency.to_dict(),
+    )
+
+
+def window_to_jsonable(window: Window) -> List[List[int]]:
+    """A window as plain JSON lists (grant payloads, campaign specs)."""
+    return [[int(start), int(stop)] for start, stop in window]
+
+
+def window_from_jsonable(payload: Sequence[Sequence[int]]) -> Window:
+    """Inverse of :func:`window_to_jsonable` (validating shape)."""
+    window: Window = []
+    for span in payload:
+        if len(span) != 2:
+            raise TraceFormatError(f"bad window span {span!r}")
+        window.append((int(span[0]), int(span[1])))
+    return window

@@ -156,6 +156,33 @@ def _apply_blocking_fractions(
             blocking[i] = rng_random() < block_fraction
 
 
+def iter_core_trace_chunks(
+    profile: AppProfile,
+    core: int,
+    num_cores: int,
+    memops: int,
+    seed: int = 0,
+    chunk_records: int = 8192,
+):
+    """Yield one core's trace as successive chunks of ``chunk_records`` ops.
+
+    This is the recording seam: the trace recorder consumes these slices
+    and the replay frontend streams them back through
+    ``Core.run_trace(chunk_source=...)``. The underlying stream is the
+    *same* :func:`build_core_trace` output — sliced, not re-generated —
+    so a recorded trace is op-for-op identical to the live generator on
+    every kernel and every protocol backend (the replay golden-digest
+    tests lock this). Memory here is O(one core's trace); the written
+    file is then replayable in O(chunk).
+    """
+    chunk = build_core_trace(profile, core, num_cores, memops, seed)
+    total = len(chunk.kinds)
+    for start in range(0, total, chunk_records):
+        yield chunk.slice(start, min(start + chunk_records, total))
+    if total == 0:
+        yield TraceChunk()
+
+
 #: Memoized machine traces. ``build_traces`` is pure and the harness calls
 #: it twice per experiment point (once for Baseline, once for WiDir) with
 #: identical arguments — synthesis was ~a quarter of end-to-end wall time in

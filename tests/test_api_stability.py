@@ -40,13 +40,13 @@ EXPECTED_SIGNATURES = {
     "campaign": (
         "name", "apps", "out", "kind", "cores", "thresholds", "memops",
         "seed", "trace_seed", "workers", "cache", "timeout", "retries",
-        "backoff_seed", "resume", "protocols",
+        "backoff_seed", "resume", "protocols", "trace_path", "trace_shards",
     ),
     "distributed_campaign": (
         "name", "apps", "out", "kind", "cores", "thresholds", "memops",
         "seed", "trace_seed", "workers", "shards", "host", "port", "cache",
         "store", "tenant", "retries", "backoff_seed", "lease_timeout",
-        "timeout", "protocols",
+        "timeout", "protocols", "trace_path", "trace_shards",
     ),
     "verify": (
         "campaign", "seed", "trials", "litmus", "litmus_schedules",
@@ -56,9 +56,25 @@ EXPECTED_SIGNATURES = {
         "app", "protocol", "cores", "memops", "seed", "trace_seed",
         "max_wired_sharers", "sample_interval", "flight_recorder_depth",
     ),
+    "record_trace": (
+        "app", "out", "cores", "memops", "trace_seed", "chunk_records",
+        "codec",
+    ),
+    "convert_trace": (
+        "src", "out", "cores", "app", "chunk_records", "codec",
+    ),
+    "trace_info": ("path",),
+    "validate_trace": ("path",),
+    "replay": (
+        "path", "protocol", "seed", "max_wired_sharers", "config",
+        "snapshot_every", "snapshot_path", "expect_trace_id",
+    ),
 }
 
-RESULT_TYPES = ("ComparisonResult", "SweepResult", "TraceResult", "VerifyReport")
+RESULT_TYPES = (
+    "ComparisonResult", "SweepResult", "TraceFileInfo", "TraceResult",
+    "VerifyReport",
+)
 
 
 class TestSurface:
@@ -76,8 +92,10 @@ class TestSurface:
         required_keywords = {
             ("campaign", "apps"),
             ("campaign", "out"),
+            ("convert_trace", "out"),
             ("distributed_campaign", "apps"),
             ("distributed_campaign", "out"),
+            ("record_trace", "out"),
         }
         params = list(inspect.signature(getattr(api, name)).parameters.values())
         for param in params[1:]:

@@ -585,3 +585,48 @@ class TestDistributedEndToEnd:
         assert report.digest == reference.digest
         assert telemetry.counters["workers.lost"] >= 1
         assert list(iter_stale_tmp(tmp_path / "chaos")) == []
+
+    def test_trace_sharded_campaign_digest_matches_single_box(self, tmp_path):
+        """One recorded trace fanned across workers by chunk window.
+
+        A ``kind="trace"`` campaign cuts the trace into barrier-safe
+        windows (one run per window per protocol); the distributed fleet
+        must land byte-for-byte on the single-box digest, and every
+        window row must be a genuine shard (cold windowed replay, keyed
+        by the trace's content digest).
+        """
+        from repro.traces import record_app_trace
+
+        trace = tmp_path / "radix.wtr"
+        info = record_app_trace(
+            trace, APP, CORES, MEMOPS, trace_seed=3, chunk_records=16
+        )
+        spec = CampaignSpec(
+            name="trace-dist",
+            kind="trace",
+            protocols=("baseline", "widir"),
+            trace_path=str(trace),
+            trace_shards=3,
+        )
+        single = run_campaign(
+            tmp_path / "single", spec,
+            supervisor=WorkerSupervisor(workers=1),
+            executor=_executor(tmp_path, "cache-single-trace"),
+        )
+        campaign = Campaign.load(tmp_path / "single")
+        assert any("shard" in label for label in campaign.labels)
+        sharded = [r for r in campaign.plan.requests if r.trace_window is not None]
+        assert len(sharded) == len(campaign.plan.requests) >= 4
+        assert all(r.trace_id == info["trace_id"] for r in sharded)
+
+        report = run_distributed(
+            tmp_path / "dist", spec,
+            workers=2,
+            executor=_executor(tmp_path, "cache-dist-trace"),
+            timeout=120,
+        )
+        assert report.ok and report.completed == single.completed
+        assert report.digest == single.digest
+        assert (tmp_path / "dist" / "results.json").read_bytes() == (
+            tmp_path / "single" / "results.json"
+        ).read_bytes()
