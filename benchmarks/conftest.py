@@ -131,6 +131,10 @@ _EXECUTOR_COLD_METRICS = {}
 #: benchmarks/test_bench_trace_replay.py; lands under ``"trace_replay"``
 #: and CI drift-gates ``replay_vs_live``.
 _TRACE_REPLAY_METRICS = {}
+#: Cross-MAC comparison metrics (per-MAC geomean cycle ratios vs brs)
+#: from benchmarks/test_bench_macs.py; lands under ``"mac"`` and is
+#: drift-gated in CI.
+_MAC_METRICS = {}
 _SESSION_STARTED = time.time()
 
 
@@ -172,6 +176,13 @@ def trace_replay_metrics():
     """Mutable dict the trace-replay benchmark fills; emitted as
     ``trace_replay`` (CI drift-gates ``replay_vs_live``)."""
     return _TRACE_REPLAY_METRICS
+
+
+@pytest.fixture(scope="session")
+def mac_metrics():
+    """Mutable dict the MAC-comparison benchmark fills; emitted as
+    ``mac`` (CI drift-gates the per-MAC geomean ratios)."""
+    return _MAC_METRICS
 
 
 def _bench_output_path():
@@ -232,6 +243,8 @@ def pytest_sessionfinish(session, exitstatus):
         payload["executor_cold"] = dict(sorted(_EXECUTOR_COLD_METRICS.items()))
     if _TRACE_REPLAY_METRICS:
         payload["trace_replay"] = dict(sorted(_TRACE_REPLAY_METRICS.items()))
+    if _MAC_METRICS:
+        payload["mac"] = dict(sorted(_MAC_METRICS.items()))
     try:
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     except OSError:  # pragma: no cover - read-only checkout

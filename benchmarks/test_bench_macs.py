@@ -1,0 +1,53 @@
+"""Cross-MAC comparison benchmark: every wireless MAC backend on WiDir.
+
+Regenerates the MAC comparison figure (``repro figure render macs``) at
+session scale and records each MAC's geomean execution-time ratio vs the
+paper's BRS discipline under ``"mac"`` in BENCH_harness.json. CI re-runs
+the bench at smoke scale and drift-gates the ratios against the committed
+baseline — cycle counts are deterministic, so the ratios only move when a
+MAC's semantics (or the channel seam they share) change.
+
+Shape assertions follow the reproduction contract (who wins, not absolute
+cycles): BRS is the reference (ratio exactly 1.0); every rival MAC must
+land in a sane band around it — the disciplines trade latency for
+collision-freedom or bandwidth partitioning, they do not melt down.
+"""
+
+import time
+
+import pytest
+
+from repro.harness.figures import figure_mac_comparison
+from repro.wireless.mac import DEFAULT_MAC, mac_names
+
+
+def test_bench_mac_comparison(bench_apps, bench_cores, bench_memops, mac_metrics):
+    start = time.perf_counter()
+    figure = figure_mac_comparison(
+        apps=bench_apps, num_cores=bench_cores, memops=bench_memops
+    )
+    wall = time.perf_counter() - start
+    print()
+    print(figure.text)
+
+    assert not figure.missing, figure.missing
+    macs = figure.headers[1:]
+    assert set(macs) == set(mac_names())
+    assert macs[0] == DEFAULT_MAC  # cycles normalized to brs
+
+    geomean = figure.rows[-1]
+    assert geomean[0] == "geomean"
+    ratios = dict(zip(macs, geomean[1:]))
+    assert ratios[DEFAULT_MAC] == pytest.approx(1.0)
+    for mac, ratio in ratios.items():
+        # A discipline that halves or doubles execution time at these
+        # parameters is a bug, not a trade-off.
+        assert 0.5 < ratio < 2.0, (mac, ratio)
+
+    mac_metrics.update(
+        {f"geomean_{mac}": round(ratio, 4) for mac, ratio in ratios.items()}
+    )
+    mac_metrics["apps"] = len(bench_apps)
+    mac_metrics["cores"] = bench_cores
+    mac_metrics["memops"] = bench_memops
+    mac_metrics["wall_seconds"] = round(wall, 3)

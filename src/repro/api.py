@@ -45,9 +45,11 @@ from repro.config.presets import protocol_config
 from repro.config.system import SystemConfig
 from repro.harness.executor import Executor
 from repro.harness.runner import SimulationResult
+from repro.wireless.mac import get_mac, registered_macs
 
 __all__ = [
     "ComparisonResult",
+    "MacInfo",
     "SweepResult",
     "TraceFileInfo",
     "TraceResult",
@@ -56,6 +58,7 @@ __all__ = [
     "compare",
     "convert_trace",
     "distributed_campaign",
+    "macs",
     "protocols",
     "record_trace",
     "replay",
@@ -75,6 +78,38 @@ def protocols() -> Tuple[str, ...]:
     return backend_names()
 
 
+@dataclass(frozen=True)
+class MacInfo:
+    """Capability card of one registered wireless MAC backend
+    (:func:`macs`)."""
+
+    name: str
+    description: str
+    collision_free: bool
+    uses_backoff: bool
+    multi_channel: bool
+
+
+def macs() -> Tuple[MacInfo, ...]:
+    """Every registered wireless MAC backend, sorted by name.
+
+    Returns :class:`MacInfo` cards rather than bare names so callers can
+    filter on capabilities (``[m.name for m in api.macs() if
+    m.collision_free]``); pass a name to ``simulate(mac=...)`` /
+    ``sweep(macs=...)`` / ``campaign(macs=...)``.
+    """
+    return tuple(
+        MacInfo(
+            name=backend.name,
+            description=backend.description,
+            collision_free=backend.collision_free,
+            uses_backoff=backend.uses_backoff,
+            multi_channel=backend.multi_channel,
+        )
+        for backend in registered_macs()
+    )
+
+
 def _executor(workers: Optional[int], cache: bool) -> Executor:
     return Executor(workers=workers, use_cache=None if cache else False)
 
@@ -84,9 +119,12 @@ def _config_for(
     cores: int,
     seed: int,
     max_wired_sharers: int,
+    mac: str = "brs",
 ) -> SystemConfig:
+    from dataclasses import replace
+
     backend = get_backend(protocol)  # raises ValueError naming the known set
-    return protocol_config(
+    config = protocol_config(
         protocol,
         num_cores=cores,
         max_wired_sharers=(
@@ -94,6 +132,10 @@ def _config_for(
         ),
         seed=seed,
     )
+    if mac != config.mac and backend.uses_wireless:
+        get_mac(mac)  # raises ValueError naming the known set
+        config = replace(config, mac=mac)
+    return config
 
 
 # ------------------------------------------------------------ result types
@@ -244,18 +286,21 @@ def simulate(
     config: Optional[SystemConfig] = None,
     workers: Optional[int] = None,
     cache: bool = True,
+    mac: str = "brs",
 ) -> SimulationResult:
     """Run one application on one machine; the stable ``run_app``.
 
     Executes through the deduplicating/memoizing
     :class:`~repro.harness.executor.Executor`, so repeated calls with
-    identical arguments are cache hits. Pass ``config=`` to override the
-    preset entirely (``protocol``/``cores``/``seed`` are then ignored).
+    identical arguments are cache hits. ``mac`` selects the wireless MAC
+    backend for wireless protocols (see :func:`macs`; ignored by wired
+    ones). Pass ``config=`` to override the preset entirely
+    (``protocol``/``cores``/``seed``/``mac`` are then ignored).
     """
     resolved = (
         config
         if config is not None
-        else _config_for(protocol, cores, seed, max_wired_sharers)
+        else _config_for(protocol, cores, seed, max_wired_sharers, mac)
     )
     return _executor(workers, cache).run(app, resolved, memops, trace_seed)
 
@@ -296,6 +341,7 @@ def sweep(
     cache: bool = True,
     executor: Optional[Executor] = None,
     protocols: Sequence[str] = ("baseline", "widir"),
+    macs: Sequence[str] = ("brs",),
 ) -> SweepResult:
     """Run a labelled grid: ``"protocols"``, ``"cores"``, or ``"thresholds"``.
 
@@ -306,9 +352,12 @@ def sweep(
       backend in ``protocols``;
     * ``thresholds`` — one ``app`` across MaxWiredSharers ``thresholds``.
 
-    Pass ``executor=`` to render from an existing campaign
-    (``Campaign.result_source()``); missing runs then degrade into
-    ``SweepResult.missing`` instead of raising.
+    ``macs`` crosses every wireless protocol in the grid with the named
+    MAC backends (wired protocols run once regardless; see :func:`macs`) —
+    combined with ``kind="thresholds"`` this is the full MAC x protocol x
+    threshold matrix. Pass ``executor=`` to render from an existing
+    campaign (``Campaign.result_source()``); missing runs then degrade
+    into ``SweepResult.missing`` instead of raising.
     """
     from repro.harness import sweeps as _sweeps
 
@@ -316,16 +365,21 @@ def sweep(
     protocol_names = tuple(protocols)
     for name in protocol_names:
         get_backend(name)  # raises ValueError naming the known set
+    mac_names_requested = tuple(macs)
+    for name in mac_names_requested:
+        get_mac(name)  # raises ValueError naming the known set
     if kind == "protocols":
         if not apps:
             raise ValueError("sweep('protocols') needs apps=(...)")
         core_count = cores if isinstance(cores, int) else tuple(cores)[0]
         expected = [
-            _sweeps.label_for(
-                a, protocol_config(p, num_cores=core_count, seed=seed)
-            )
+            _sweeps.label_for(a, config)
             for a in apps
             for p in protocol_names
+            for config in _sweeps.mac_variants(
+                protocol_config(p, num_cores=core_count, seed=seed),
+                mac_names_requested,
+            )
         ]
         results = _sweeps.sweep_protocols(
             apps,
@@ -334,6 +388,7 @@ def sweep(
             seed=seed,
             executor=exe,
             protocols=protocol_names,
+            macs=mac_names_requested,
         )
     elif kind == "cores":
         target = app if app is not None else (apps[0] if apps else None)
@@ -341,11 +396,13 @@ def sweep(
             raise ValueError("sweep('cores') needs app=...")
         counts = (cores,) if isinstance(cores, int) else tuple(cores)
         expected = [
-            _sweeps.label_for(
-                target, protocol_config(p, num_cores=c, seed=seed)
-            )
+            _sweeps.label_for(target, config)
             for c in counts
             for p in protocol_names
+            for config in _sweeps.mac_variants(
+                protocol_config(p, num_cores=c, seed=seed),
+                mac_names_requested,
+            )
         ]
         results = _sweeps.sweep_core_counts(
             target,
@@ -354,6 +411,7 @@ def sweep(
             seed=seed,
             executor=exe,
             protocols=protocol_names,
+            macs=mac_names_requested,
         )
     elif kind == "thresholds":
         target = app if app is not None else (apps[0] if apps else None)
@@ -361,16 +419,17 @@ def sweep(
             raise ValueError("sweep('thresholds') needs app=...")
         core_count = cores if isinstance(cores, int) else tuple(cores)[0]
         expected = [
-            _sweeps.label_for(
-                target,
+            _sweeps.label_for(target, config)
+            for t in thresholds
+            for config in _sweeps.mac_variants(
                 protocol_config(
                     "widir",
                     num_cores=core_count,
                     max_wired_sharers=t,
                     seed=seed,
                 ),
+                mac_names_requested,
             )
-            for t in thresholds
         ]
         results = _sweeps.sweep_thresholds(
             target,
@@ -379,6 +438,7 @@ def sweep(
             memops=memops,
             seed=seed,
             executor=exe,
+            macs=mac_names_requested,
         )
     else:
         raise ValueError(
@@ -400,6 +460,7 @@ def _campaign_spec(
     protocols: Sequence[str],
     trace_path: Optional[Union[str, Path]],
     trace_shards: int,
+    macs: Sequence[str] = ("brs",),
 ):
     from repro.harness.campaign import SWEEP_KINDS, CampaignSpec
 
@@ -417,6 +478,7 @@ def _campaign_spec(
         thresholds=tuple(thresholds),
         trace_seed=trace_seed,
         protocols=tuple(protocols),
+        macs=tuple(macs),
         trace_path=str(trace_path) if trace_path is not None else "",
         trace_shards=trace_shards,
     )
@@ -442,6 +504,7 @@ def campaign(
     protocols: Sequence[str] = ("baseline", "widir"),
     trace_path: Optional[Union[str, Path]] = None,
     trace_shards: int = 0,
+    macs: Sequence[str] = ("brs",),
 ):
     """Run (or resume) a fault-tolerant campaign; returns a
     :class:`~repro.harness.campaign.CampaignReport`.
@@ -463,7 +526,7 @@ def campaign(
 
     spec = _campaign_spec(
         name, kind, apps, cores, thresholds, memops, seed, trace_seed,
-        protocols, trace_path, trace_shards,
+        protocols, trace_path, trace_shards, macs,
     )
     supervisor = WorkerSupervisor(
         workers=workers,
@@ -504,6 +567,7 @@ def distributed_campaign(
     protocols: Sequence[str] = ("baseline", "widir"),
     trace_path: Optional[Union[str, Path]] = None,
     trace_shards: int = 0,
+    macs: Sequence[str] = ("brs",),
 ):
     """Run (or resume) a campaign across ``workers`` distributed agents;
     returns a :class:`~repro.harness.distributed.DistributedReport`.
@@ -527,7 +591,7 @@ def distributed_campaign(
 
     spec = _campaign_spec(
         name, kind, apps, cores, thresholds, memops, seed, trace_seed,
-        protocols, trace_path, trace_shards,
+        protocols, trace_path, trace_shards, macs,
     )
     return run_distributed(
         Path(out),
@@ -593,6 +657,7 @@ def trace(
     max_wired_sharers: int = 3,
     sample_interval: Optional[int] = None,
     flight_recorder_depth: Optional[int] = None,
+    mac: str = "brs",
 ) -> TraceResult:
     """Run one app with the observability layer enabled.
 
@@ -608,7 +673,7 @@ def trace(
 
     defaults = ObsConfig()
     config = replace(
-        _config_for(protocol, cores, seed, max_wired_sharers),
+        _config_for(protocol, cores, seed, max_wired_sharers, mac),
         obs=ObsConfig(
             enabled=True,
             flight_recorder_depth=(
@@ -724,6 +789,7 @@ def replay(
     max_wired_sharers: int = 3,
     config: Optional[SystemConfig] = None,
     snapshot_every: int = 0,
+    mac: str = "brs",
     snapshot_path: Optional[Union[str, Path]] = None,
     expect_trace_id: str = "",
 ) -> SimulationResult:
@@ -741,7 +807,7 @@ def replay(
 
     if config is None:
         num_cores = _info(path)["num_cores"]
-        config = _config_for(protocol, num_cores, seed, max_wired_sharers)
+        config = _config_for(protocol, num_cores, seed, max_wired_sharers, mac)
     return replay_trace(
         path,
         config,

@@ -61,6 +61,7 @@ from repro.harness import figures as figure_functions
 from repro.harness.executor import Executor
 from repro.harness.motivation import section2c_sharing_probe
 from repro.harness.results_io import result_to_dict
+from repro.wireless.mac import mac_names
 from repro.workloads.profiles import ALL_APPS, APP_PROFILES
 
 FIGURES = {
@@ -105,6 +106,11 @@ FIGURES = {
         apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"],
         executor=kw["executor"], protocols=kw.get("protocols"),
         seed=kw.get("seed", 42),
+    ),
+    "macs": lambda **kw: figure_functions.figure_mac_comparison(
+        apps=kw["apps"], num_cores=kw["cores"], memops=kw["memops"],
+        executor=kw["executor"], protocols=kw.get("protocols"),
+        macs=kw.get("macs"), seed=kw.get("seed", 42),
     ),
 }
 
@@ -199,6 +205,24 @@ def _out_parent(default: Optional[str], help_text: str) -> argparse.ArgumentPars
     return parent
 
 
+def _add_mac_option(parser: argparse.ArgumentParser) -> None:
+    """``--mac``: wireless MAC backend (ignored by wired protocols)."""
+    parser.add_argument(
+        "--mac",
+        choices=mac_names(),
+        default="brs",
+        help="wireless MAC backend (wired protocols ignore it; see "
+        "repro apps list --macs)",
+    )
+
+
+def _config_with_mac(config, mac: str):
+    """Apply ``--mac`` to a preset config; no-op for the default MAC."""
+    from dataclasses import replace
+
+    return config if mac == config.mac else replace(config, mac=mac)
+
+
 def _executor_from(args: argparse.Namespace) -> Executor:
     return Executor(
         workers=args.workers, use_cache=False if args.no_cache else None
@@ -213,6 +237,7 @@ def _configure_sim_run(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--protocol", choices=backend_names(), default="widir"
     )
+    _add_mac_option(parser)
     parser.add_argument("--json", action="store_true", help="emit JSON")
 
 
@@ -225,6 +250,7 @@ def _configure_sim_profile(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--protocol", choices=backend_names(), default="widir"
     )
+    _add_mac_option(parser)
     parser.add_argument(
         "--trace-seed", type=int, default=7, help="workload trace seed"
     )
@@ -309,6 +335,7 @@ def _configure_trace_run(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--preset", choices=backend_names(), default="widir"
     )
+    _add_mac_option(parser)
     parser.add_argument(
         "--trace-seed", type=int, default=0, help="workload trace seed"
     )
@@ -488,6 +515,11 @@ def _configure_campaign_run(parser: argparse.ArgumentParser) -> None:
         "'all' (see repro apps list --protocols)",
     )
     parser.add_argument(
+        "--macs", default="brs",
+        help="comma-separated wireless MAC backends to cross with every "
+        "wireless protocol, or 'all' (see repro apps list --macs)",
+    )
+    parser.add_argument(
         "--trace-seed", type=int, default=0, help="workload trace seed"
     )
     parser.add_argument(
@@ -552,6 +584,11 @@ def _configure_campaign_serve(parser: argparse.ArgumentParser) -> None:
         "--protocols", default="baseline,widir",
         help="comma-separated backend names for --sweep protocols, or "
         "'all' (see repro apps list --protocols)",
+    )
+    parser.add_argument(
+        "--macs", default="brs",
+        help="comma-separated wireless MAC backends to cross with every "
+        "wireless protocol, or 'all' (see repro apps list --macs)",
     )
     parser.add_argument(
         "--trace-seed", type=int, default=0, help="workload trace seed"
@@ -758,6 +795,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--protocols",
         action="store_true",
         help="list the registered coherence-protocol backends instead",
+    )
+    apps_list.add_argument(
+        "--macs",
+        action="store_true",
+        help="list the registered wireless MAC backends instead",
     )
 
     # ---- verify --------------------------------------------------------
@@ -1010,8 +1052,9 @@ def _warn_deprecated(args: argparse.Namespace) -> None:
 
 
 def _cmd_sim_run(args: argparse.Namespace) -> int:
-    config = protocol_config(
-        args.protocol, num_cores=args.cores, seed=args.seed
+    config = _config_with_mac(
+        protocol_config(args.protocol, num_cores=args.cores, seed=args.seed),
+        args.mac,
     )
     result = _executor_from(args).run(args.app, config, args.memops)
     if args.json:
@@ -1091,11 +1134,14 @@ def _cmd_sim_profile(args: argparse.Namespace) -> int:
     previous_batched = set_batched_default(batched)
 
     def one_run():
+        config = _config_with_mac(
+            protocol_config(
+                args.protocol, num_cores=args.cores, seed=args.seed
+            ),
+            args.mac,
+        )
         return run_app(
-            args.app,
-            protocol_config(args.protocol, num_cores=args.cores, seed=args.seed),
-            args.memops,
-            trace_seed=args.trace_seed,
+            args.app, config, args.memops, trace_seed=args.trace_seed
         )
 
     try:
@@ -1328,7 +1374,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     # trace run
     from repro.harness.runner import run_app
 
-    config = protocol_config(args.preset, num_cores=args.cores, seed=args.seed)
+    config = _config_with_mac(
+        protocol_config(args.preset, num_cores=args.cores, seed=args.seed),
+        args.mac,
+    )
     obs_defaults = ObsConfig()
     config = replace(
         config,
@@ -1486,6 +1535,22 @@ def _cmd_traces(args: argparse.Namespace) -> int:
 
 
 def _cmd_apps_list(_args: argparse.Namespace) -> int:
+    if getattr(_args, "macs", False):
+        from repro.wireless.mac import registered_macs
+
+        print(
+            f"{'mac':14s} {'collision-free':14s} {'backoff':8s} "
+            f"{'channels':9s} description"
+        )
+        for mac in registered_macs():
+            print(
+                f"{mac.name:14s} "
+                f"{'yes' if mac.collision_free else 'no':14s} "
+                f"{'yes' if mac.uses_backoff else 'no':8s} "
+                f"{'multi' if mac.multi_channel else 'single':9s} "
+                f"{mac.description}"
+            )
+        return 0
     if getattr(_args, "protocols", False):
         from repro.coherence.backend import registered_backends
 
@@ -1510,6 +1575,13 @@ def _parse_protocols(value: str) -> Tuple[str, ...]:
     """Parse a ``--protocols`` list; 'all' means every registered backend."""
     if value.strip() == "all":
         return backend_names()
+    return tuple(name.strip() for name in value.split(",") if name.strip())
+
+
+def _parse_macs(value: str) -> Tuple[str, ...]:
+    """Parse a ``--macs`` list; 'all' means every registered MAC."""
+    if value.strip() == "all":
+        return mac_names()
     return tuple(name.strip() for name in value.split(",") if name.strip())
 
 
@@ -1560,6 +1632,7 @@ def _campaign_spec_from_args(args: argparse.Namespace, directory):
         ),
         trace_seed=args.trace_seed,
         protocols=_parse_protocols(args.protocols),
+        macs=_parse_macs(args.macs),
         trace_path=args.trace_path or "",
         trace_shards=args.trace_shards,
     )
@@ -1607,6 +1680,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 memops=spec.memops,
                 executor=source,
                 protocols=spec.protocols,
+                macs=spec.macs,
                 seed=spec.seed,
             )
             if isinstance(result, dict):  # figure8-style multi-table

@@ -46,9 +46,10 @@ Contract highlights (docs/PROTOCOLS.md has the full version):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, List, Tuple
 
 from repro.coherence import messages as mk
+from repro.config.registry import Registry
 from repro.coherence.states import (
     EXCLUSIVE,
     MODIFIED,
@@ -115,53 +116,35 @@ class ProtocolBackend:
         return table
 
 
-_BACKENDS: Dict[str, ProtocolBackend] = {}
-_BUILTINS_LOADED = False
-
-
-def register_backend(backend: ProtocolBackend) -> ProtocolBackend:
-    """Add ``backend`` to the registry (idempotent for identical re-adds)."""
-    existing = _BACKENDS.get(backend.name)
-    if existing is not None and existing is not backend:
-        raise ValueError(f"protocol backend already registered: {backend.name!r}")
-    _BACKENDS[backend.name] = backend
-    return backend
-
-
-def _ensure_builtins() -> None:
+def _load_builtins() -> None:
     """Import the plugin modules that self-register the stock backends."""
-    global _BUILTINS_LOADED
-    if _BUILTINS_LOADED:
-        return
-    _BUILTINS_LOADED = True
     # Imported for their registration side effects; the classic
     # baseline/widir backends are declared below in this module.
     from repro.coherence import hybrid_update  # noqa: F401
     from repro.coherence import phase_priority  # noqa: F401
 
 
+_REGISTRY: Registry = Registry("protocol backend", _load_builtins)
+
+
+def register_backend(backend: ProtocolBackend) -> ProtocolBackend:
+    """Add ``backend`` to the registry (idempotent for identical re-adds)."""
+    return _REGISTRY.register(backend.name, backend)
+
+
 def get_backend(name: str) -> ProtocolBackend:
     """Look up a backend; raises ``ValueError`` naming the known set."""
-    _ensure_builtins()
-    try:
-        return _BACKENDS[name]
-    except KeyError:
-        known = ", ".join(sorted(_BACKENDS))
-        raise ValueError(
-            f"unknown protocol backend {name!r} (registered: {known})"
-        ) from None
+    return _REGISTRY.get(name)
 
 
 def backend_names() -> Tuple[str, ...]:
     """Registered backend names, sorted for stable CLI/docs output."""
-    _ensure_builtins()
-    return tuple(sorted(_BACKENDS))
+    return _REGISTRY.names()
 
 
 def registered_backends() -> Tuple[ProtocolBackend, ...]:
     """All registered backends, sorted by name."""
-    _ensure_builtins()
-    return tuple(_BACKENDS[name] for name in sorted(_BACKENDS))
+    return _REGISTRY.values()
 
 
 def _baseline_cache(sim, node, config, amap, noc, stats, rng, wireless, tone):

@@ -62,7 +62,7 @@ class HistoryRecorder:
         self._writes: Dict[int, List[WriteEvent]] = {}
         self._reads: Dict[int, List[ReadEvent]] = {}
         self.visibility_lag = (
-            machine.config.wireless.frame_cycles
+            machine.wireless.settle_cycles
             if machine.wireless is not None
             else 0
         )

@@ -464,12 +464,13 @@ class DirectoryController:
         if self.wireless is not None:
             self.wireless.jam(entry.line)
         # Jamming stops *new* wireless updates, but a frame already past its
-        # collision-detect slot still delivers up to frame_cycles later. The
-        # line snapshot must include it, so the first send waits out one
-        # frame time after the jam engages before reading the LLC. Joiners
-        # arriving later piggyback on the same jam window (see
-        # _join_wireless_sharer) instead of serializing one at a time.
-        settle = self.config.wireless.frame_cycles + 1
+        # collision-detect slot still delivers up to the MAC's worst-case
+        # airtime later (frame_cycles for BRS; longer for FDMA sub-channels
+        # or token rotation). The line snapshot must include it, so the
+        # first send waits out that window after the jam engages before
+        # reading the LLC. Joiners arriving later piggyback on the same jam
+        # window (see _join_wireless_sharer) instead of serializing.
+        settle = self.wireless.settle_cycles + 1
 
         def on_settled() -> None:
             transaction["settled"] = True

@@ -151,6 +151,12 @@ class WirelessConfig:
     backoff_max_exponent: int = 8
     #: Tone-channel transfer latency (Table III: 1 cycle).
     tone_cycles: int = 1
+    #: p-persistent transmit probability per contention slot — consumed
+    #: only by the ``csma_slotted`` MAC backend.
+    csma_persistence: float = 0.5
+    #: Static sub-channel count — consumed only by the ``fdma`` MAC
+    #: backend (each sub-channel runs at 1/k aggregate bandwidth).
+    fdma_channels: int = 4
 
     @property
     def frame_cycles(self) -> int:
@@ -164,6 +170,49 @@ class WirelessConfig:
         _require(self.backoff_base_cycles >= 1, "backoff base must be >= 1 cycle")
         _require(self.backoff_max_exponent >= 0, "backoff exponent must be >= 0")
         _require(self.tone_cycles >= 1, "tone latency must be >= 1 cycle")
+        _require(
+            0.0 < self.csma_persistence <= 1.0,
+            "csma_persistence must be in (0, 1]",
+        )
+        _require(self.fdma_channels >= 1, "fdma_channels must be >= 1")
+
+
+@dataclass(frozen=True)
+class ChannelErrorConfig:
+    """Seeded wireless channel-error realism — **off by default**.
+
+    Both probabilities default to 0.0, in which case
+    :class:`~repro.system.Manycore` builds no error model at all: no RNG
+    splits, no extra counters, and every pre-error-model golden digest is
+    untouched. When enabled, draws come from one dedicated labelled split
+    so they perturb no other subsystem's stream (see
+    :mod:`repro.wireless.errors` for the liveness guarantees).
+    """
+
+    #: Probability a data-channel frame garbles in flight and is NACKed in
+    #: the collision-detect slot (retransmit via the MAC's NACK policy).
+    frame_corruption_prob: float = 0.0
+    #: Probability a tone drop goes unheard and is re-signalled after
+    #: ``tone_retry_cycles`` (delays, never loses, ToneAck completion).
+    missed_tone_prob: float = 0.0
+    #: Delay before a missed tone drop is re-signalled.
+    tone_retry_cycles: int = 4
+
+    @property
+    def enabled(self) -> bool:
+        """True when any error class has non-zero probability."""
+        return self.frame_corruption_prob > 0.0 or self.missed_tone_prob > 0.0
+
+    def validate(self) -> None:
+        _require(
+            0.0 <= self.frame_corruption_prob < 1.0,
+            "frame_corruption_prob must be in [0, 1)",
+        )
+        _require(
+            0.0 <= self.missed_tone_prob < 1.0,
+            "missed_tone_prob must be in [0, 1)",
+        )
+        _require(self.tone_retry_cycles >= 1, "tone retry must be >= 1 cycle")
 
 
 @dataclass(frozen=True)
@@ -214,6 +263,9 @@ class SystemConfig:
 
     num_cores: int = 64
     protocol: str = "widir"  # any name in coherence.backend.backend_names()
+    #: Wireless MAC discipline — any name in wireless.mac.mac_names().
+    #: Ignored by protocols that do not use the wireless plane.
+    mac: str = "brs"
     core: CoreConfig = field(default_factory=CoreConfig)
     l1: CacheConfig = field(default_factory=CacheConfig)
     l2: CacheConfig = field(
@@ -224,6 +276,8 @@ class SystemConfig:
     directory: DirectoryConfig = field(default_factory=DirectoryConfig)
     noc: NocConfig = field(default_factory=NocConfig)
     wireless: WirelessConfig = field(default_factory=WirelessConfig)
+    #: Seeded channel-error realism; disabled (all-zero) by default.
+    channel_errors: ChannelErrorConfig = field(default_factory=ChannelErrorConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     seed: int = 42
     #: Online invariant checking period in cycles (0 = off, the default).
@@ -266,11 +320,17 @@ class SystemConfig:
         """Raise :class:`ConfigurationError` on any inconsistent field."""
         from repro.coherence.backend import backend_names
 
+        from repro.wireless.mac import mac_names
+
         _require(self.num_cores >= 1, "need at least one core")
         _require(
             self.protocol in backend_names(),
             f"unknown protocol {self.protocol!r}; "
             f"expected one of {', '.join(backend_names())}",
+        )
+        _require(
+            self.mac in mac_names(),
+            f"unknown MAC {self.mac!r}; expected one of {', '.join(mac_names())}",
         )
         self.core.validate()
         self.l1.validate("l1")
@@ -278,6 +338,7 @@ class SystemConfig:
         self.directory.validate()
         self.noc.validate()
         self.wireless.validate()
+        self.channel_errors.validate()
         self.memory.validate()
         self.obs.validate()
         _require(
@@ -304,12 +365,22 @@ class SystemConfig:
         return cls(
             num_cores=payload["num_cores"],
             protocol=payload["protocol"],
+            # Absent in payloads recorded before MAC backends were pluggable;
+            # "brs" (the paper's discipline) reproduces their behaviour.
+            mac=payload.get("mac", "brs"),
             core=CoreConfig(**payload["core"]),
             l1=CacheConfig(**payload["l1"]),
             l2=CacheConfig(**payload["l2"]),
             directory=DirectoryConfig(**payload["directory"]),
             noc=NocConfig(**payload["noc"]),
             wireless=WirelessConfig(**payload["wireless"]),
+            # Absent before channel-error realism existed; all-zero (off)
+            # reproduces the ideal channel exactly.
+            channel_errors=(
+                ChannelErrorConfig(**payload["channel_errors"])
+                if "channel_errors" in payload
+                else ChannelErrorConfig()
+            ),
             memory=MemoryConfig(**payload["memory"]),
             seed=payload["seed"],
             # Absent in payloads recorded before the verification subsystem

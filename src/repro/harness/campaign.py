@@ -7,7 +7,7 @@ from a :class:`CampaignSpec`) executed under the
 checkpoints, so the harness survives the same fault classes the WiDir
 protocol itself is built around (collisions -> BRS backoff; here: worker
 crashes / hangs / timeouts -> seeded retry with the same
-:class:`~repro.wireless.brs.BackoffPolicy` shape).
+:class:`~repro.wireless.mac.BackoffPolicy` shape).
 
 On-disk layout (all writes crash-safe; see :mod:`repro.harness.ioutils`)::
 
@@ -63,7 +63,8 @@ from repro.harness.ioutils import (
 )
 from repro.harness.runner import SimulationResult
 from repro.harness.supervisor import RetryPolicy, WorkerSupervisor
-from repro.harness.sweeps import label_for
+from repro.harness.sweeps import label_for, mac_variants
+from repro.wireless.mac import get_mac
 from repro.obs.campaign import CampaignTelemetry
 
 #: Bump on any change to the journal / manifest / aggregate shapes.
@@ -113,6 +114,11 @@ class CampaignSpec:
     #: :func:`repro.coherence.backend.backend_names`. Validated at spec
     #: construction so a typo fails before any run is journalled.
     protocols: Tuple[str, ...] = ("baseline", "widir")
+    #: MAC backends crossed over every *wireless* protocol in the matrix
+    #: (wired protocols run once regardless); any subset of
+    #: :func:`repro.wireless.mac.mac_names`. The default single-point
+    #: dimension reproduces every pre-MAC-zoo matrix exactly.
+    macs: Tuple[str, ...] = ("brs",)
     #: ``kind="trace"`` only: the recorded trace file the campaign fans
     #: out, its pinned content digest (read from the file when empty),
     #: and how many barrier-safe shards to cut it into (<= 1 replays the
@@ -135,8 +141,12 @@ class CampaignSpec:
             raise ValueError("a campaign needs at least one app")
         if not self.protocols:
             raise ValueError("a campaign needs at least one protocol")
+        if not self.macs:
+            raise ValueError("a campaign needs at least one MAC")
         for protocol in self.protocols:
             get_backend(protocol)  # raises ValueError naming the known set
+        for mac in self.macs:
+            get_mac(mac)  # raises ValueError naming the known set
 
     def to_dict(self) -> Dict:
         return {
@@ -149,6 +159,7 @@ class CampaignSpec:
             "thresholds": list(self.thresholds),
             "trace_seed": self.trace_seed,
             "protocols": list(self.protocols),
+            "macs": list(self.macs),
             "trace_path": self.trace_path,
             "trace_id": self.trace_id,
             "trace_shards": self.trace_shards,
@@ -168,6 +179,9 @@ class CampaignSpec:
             # Manifests written before the pluggable-backend refactor
             # predate this key; they always meant the classic pair.
             protocols=tuple(payload.get("protocols", ("baseline", "widir"))),
+            # Manifests written before MAC backends were pluggable predate
+            # this key; they always meant the paper's BRS discipline.
+            macs=tuple(payload.get("macs", ("brs",))),
             trace_path=payload.get("trace_path", ""),
             trace_id=payload.get("trace_id", ""),
             trace_shards=payload.get("trace_shards", 0),
@@ -188,25 +202,23 @@ class CampaignSpec:
             for app in self.apps:
                 for cores in self.cores:
                     for protocol in self.protocols:
-                        add(
-                            app,
-                            protocol_config(
-                                protocol, num_cores=cores, seed=self.seed
-                            ),
+                        base = protocol_config(
+                            protocol, num_cores=cores, seed=self.seed
                         )
-        else:  # thresholds
+                        for config in mac_variants(base, self.macs):
+                            add(app, config)
+        else:  # thresholds (x MACs: the MAC x protocol x threshold matrix)
             for app in self.apps:
                 for cores in self.cores:
                     add(app, baseline_config(num_cores=cores, seed=self.seed))
                     for threshold in self.thresholds:
-                        add(
-                            app,
-                            widir_config(
-                                num_cores=cores,
-                                max_wired_sharers=threshold,
-                                seed=self.seed,
-                            ),
+                        base = widir_config(
+                            num_cores=cores,
+                            max_wired_sharers=threshold,
+                            seed=self.seed,
                         )
+                        for config in mac_variants(base, self.macs):
+                            add(app, config)
         return plan, labels
 
     def _build_trace(self) -> Tuple[ExperimentPlan, List[str]]:
@@ -238,10 +250,15 @@ class CampaignSpec:
                     reader, stride, max_windows=self.trace_shards
                 )
         stem = Path(self.trace_path).stem or "trace"
-        for protocol in self.protocols:
-            config = protocol_config(
-                protocol, num_cores=num_cores, seed=self.seed
+        configs = [
+            config
+            for protocol in self.protocols
+            for config in mac_variants(
+                protocol_config(protocol, num_cores=num_cores, seed=self.seed),
+                self.macs,
             )
+        ]
+        for config in configs:
             base = label_for(app, config)
             if windows is None:
                 plan.add_trace(

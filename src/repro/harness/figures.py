@@ -619,3 +619,83 @@ def figure_protocol_comparison(
     return FigureResult(
         "protocols", ["app"] + list(names), rows, text, missing=missing
     )
+
+
+# ------------------------------------------------------ MAC comparison
+
+def figure_mac_comparison(
+    apps: Optional[Iterable[str]] = None,
+    num_cores: int = 16,
+    memops: Optional[int] = None,
+    executor: Optional[Executor] = None,
+    seed: int = 42,
+    protocols: Optional[Sequence[str]] = None,
+    macs: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Cross-MAC comparison: every wireless MAC backend on one grid.
+
+    One column per MAC (default: all of
+    :func:`repro.wireless.mac.mac_names`), one row per app x wireless
+    protocol (wired protocols have no MAC dimension and are skipped),
+    cycles normalized to the first MAC in the list. Renders from a
+    campaign that declared the same ``macs`` tuple, or simulates
+    directly.
+    """
+    from dataclasses import replace
+
+    from repro.coherence.backend import backend_names, get_backend
+    from repro.config.presets import protocol_config
+    from repro.wireless.mac import mac_names
+
+    mac_list = tuple(macs) if macs else mac_names()
+    wireless = tuple(
+        name
+        for name in (tuple(protocols) if protocols else backend_names())
+        if get_backend(name).uses_wireless
+    )
+    if not wireless:
+        raise ValueError("no wireless protocol in the requested set")
+    apps = _apps_or_default(apps)
+    plan = ExperimentPlan()
+    indices = {}
+    for app in apps:
+        for protocol in wireless:
+            base = protocol_config(protocol, num_cores=num_cores, seed=seed)
+            for mac in mac_list:
+                config = base if mac == base.mac else replace(base, mac=mac)
+                indices[(app, protocol, mac)] = plan.add(app, config, memops)
+    all_results = _exe(executor).map_runs(plan)
+    reference_mac = mac_list[0]
+    rows = []
+    ratios: Dict[str, List[float]] = {mac: [] for mac in mac_list}
+    missing = []
+    for app in apps:
+        for protocol in wireless:
+            label = f"{app}/{protocol}" if len(wireless) > 1 else app
+            reference = all_results[indices[(app, protocol, reference_mac)]]
+            if reference is None:
+                missing.append(f"{label}/{reference_mac}")
+                continue
+            row = [label]
+            for mac in mac_list:
+                result = all_results[indices[(app, protocol, mac)]]
+                if result is None:
+                    missing.append(f"{label}/{mac}")
+                    row.append(float("nan"))
+                    continue
+                ratio = result.cycles / max(1, reference.cycles)
+                ratios[mac].append(ratio)
+                row.append(ratio)
+            rows.append(row)
+    rows.append(["geomean"] + [_geomean(ratios[mac]) for mac in mac_list])
+    text = format_table(
+        ["app"] + [f"{mac} cycles" for mac in mac_list],
+        rows,
+        title=(
+            f"MAC comparison ({num_cores} cores, "
+            f"{'/'.join(wireless)}): cycles normalized to {reference_mac}"
+        ),
+    )
+    return FigureResult(
+        "macs", ["app"] + list(mac_list), rows, text, missing=missing
+    )

@@ -13,7 +13,7 @@ layer the campaign runner (:mod:`repro.harness.campaign`) sits on:
   exceeded while still beating), and a *hung* worker (alive but silent);
 * failed runs are **retried** with seeded exponential backoff. The backoff
   engine is literally the protocol's own
-  :class:`~repro.wireless.brs.BackoffPolicy` — the BRS MAC discipline the
+  :class:`~repro.wireless.mac.BackoffPolicy` — the BRS MAC discipline the
   paper applies to wireless collisions, applied here to harness faults —
   driven by a :class:`~repro.engine.rng.DeterministicRng` split per run
   key, so retry schedules are reproducible;
@@ -36,7 +36,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine.rng import DeterministicRng
 from repro.harness.executor import RunRequest, _simulate
-from repro.wireless.brs import BackoffPolicy
+from repro.wireless.mac import BackoffPolicy
 
 #: Fault kinds a worker can be told to exhibit (tests / smoke campaigns).
 FAULT_KINDS = ("crash", "hang", "stall", "error")
@@ -52,7 +52,7 @@ class RetryPolicy:
     """Seeded exponential-backoff retry schedule, one stream per run key.
 
     The delay after the ``n``-th consecutive failure of a run is drawn by a
-    :class:`~repro.wireless.brs.BackoffPolicy` (uniform in a window that
+    :class:`~repro.wireless.mac.BackoffPolicy` (uniform in a window that
     doubles up to ``base * 2**max_exponent`` *backoff units*), from an RNG
     stream split off ``seed`` by the run key — identical inputs always
     yield the identical retry schedule, and no run's draws perturb

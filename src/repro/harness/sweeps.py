@@ -22,10 +22,15 @@ from repro.config.presets import protocol_config, widir_config
 from repro.config.system import SystemConfig
 from repro.harness.executor import Executor, ExperimentPlan, default_executor
 from repro.harness.runner import SimulationResult
+from repro.wireless.mac import DEFAULT_MAC
 
 #: Default protocol pair of the paper's evaluation; sweeps accept any
 #: subset of :func:`repro.coherence.backend.backend_names`.
 DEFAULT_PROTOCOLS = ("baseline", "widir")
+
+#: Default (single-point) MAC dimension; sweeps accept any subset of
+#: :func:`repro.wireless.mac.mac_names`.
+DEFAULT_MACS = (DEFAULT_MAC,)
 
 
 def _exe(executor: Optional[Executor]) -> Executor:
@@ -33,11 +38,37 @@ def _exe(executor: Optional[Executor]) -> Executor:
 
 
 def label_for(app: str, config: SystemConfig) -> str:
-    """Canonical sweep label: app/protocol/cores[/tN for threshold protocols]."""
+    """Canonical sweep label: app/protocol/cores[/tN][/mac].
+
+    The threshold segment appears only for threshold-using protocols, the
+    MAC segment only for wireless protocols running a non-default MAC —
+    so every pre-MAC-zoo label (and therefore every recorded campaign
+    journal and aggregate digest) is byte-identical.
+    """
+    backend = get_backend(config.protocol)
     parts = [app, config.protocol, f"{config.num_cores}c"]
-    if get_backend(config.protocol).uses_sharer_threshold:
+    if backend.uses_sharer_threshold:
         parts.append(f"t{config.directory.max_wired_sharers}")
+    if backend.uses_wireless and config.mac != DEFAULT_MAC:
+        parts.append(config.mac)
     return "/".join(parts)
+
+
+def mac_variants(
+    config: SystemConfig, macs: Sequence[str] = DEFAULT_MACS
+) -> Sequence[SystemConfig]:
+    """Cross ``config`` with the MAC dimension.
+
+    Wireless protocols get one config per requested MAC; wired protocols
+    have no MAC to vary and always yield the single default-MAC config,
+    so a ``macs=all`` sweep does not multiply baseline runs.
+    """
+    if not get_backend(config.protocol).uses_wireless:
+        return (config,)
+    return tuple(
+        config if mac == config.mac else replace(config, mac=mac)
+        for mac in macs
+    )
 
 
 def _run_labelled(
@@ -72,21 +103,24 @@ def sweep_protocols(
     progress: Optional[Callable[[str], None]] = None,
     executor: Optional[Executor] = None,
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    macs: Sequence[str] = DEFAULT_MACS,
 ) -> Dict[str, SimulationResult]:
     """Run every app on every requested protocol; returns label -> result.
 
-    ``progress`` is invoked once per grid point as the plan is *declared*
-    (dispatch order); with a parallel executor the underlying simulations
-    may complete in any order.
+    ``macs`` crosses wireless protocols with MAC backends (wired
+    protocols run once regardless). ``progress`` is invoked once per grid
+    point as the plan is *declared* (dispatch order); with a parallel
+    executor the underlying simulations may complete in any order.
     """
     grid = []
     for app in apps:
         for protocol in protocols:
-            config = protocol_config(protocol, num_cores=num_cores, seed=seed)
-            label = label_for(app, config)
-            if progress is not None:
-                progress(label)
-            grid.append((label, app, config))
+            base = protocol_config(protocol, num_cores=num_cores, seed=seed)
+            for config in mac_variants(base, macs):
+                label = label_for(app, config)
+                if progress is not None:
+                    progress(label)
+                grid.append((label, app, config))
     return _run_labelled(grid, executor, memops)
 
 
@@ -97,14 +131,15 @@ def sweep_core_counts(
     seed: int = 42,
     executor: Optional[Executor] = None,
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    macs: Sequence[str] = DEFAULT_MACS,
 ) -> Dict[str, SimulationResult]:
-    """One app across machine sizes, every requested protocol."""
+    """One app across machine sizes, every requested protocol (x MACs)."""
     grid = [
         (label_for(app, config), app, config)
         for cores in core_counts
-        for config in (
-            protocol_config(protocol, num_cores=cores, seed=seed)
-            for protocol in protocols
+        for protocol in protocols
+        for config in mac_variants(
+            protocol_config(protocol, num_cores=cores, seed=seed), macs
         )
     ]
     return _run_labelled(grid, executor, memops)
@@ -117,14 +152,16 @@ def sweep_thresholds(
     memops: Optional[int] = None,
     seed: int = 42,
     executor: Optional[Executor] = None,
+    macs: Sequence[str] = DEFAULT_MACS,
 ) -> Dict[str, SimulationResult]:
-    """One app across MaxWiredSharers values (Table VI style)."""
+    """One app across MaxWiredSharers values (Table VI style), x MACs."""
     grid = []
     for threshold in thresholds:
-        config = widir_config(
+        base = widir_config(
             num_cores=num_cores, max_wired_sharers=threshold, seed=seed
         )
-        grid.append((label_for(app, config), app, config))
+        for config in mac_variants(base, macs):
+            grid.append((label_for(app, config), app, config))
     return _run_labelled(grid, executor, memops)
 
 

@@ -25,7 +25,9 @@ from repro.noc.topology import MeshTopology
 from repro.obs.hooks import Observability
 from repro.stats.collectors import StatsRegistry
 from repro.wireless.channel import WirelessDataChannel
+from repro.wireless.errors import ChannelErrorModel
 from repro.wireless.frames import WirelessFrame
+from repro.wireless.mac import get_mac
 from repro.wireless.tone import ToneChannel
 
 class Manycore:
@@ -59,15 +61,29 @@ class Manycore:
         self.wireless: Optional[WirelessDataChannel] = None
         self.tone: Optional[ToneChannel] = None
         if config.uses_wireless:
+            # Built only when enabled: a disabled model splits no RNG and
+            # registers no counters, keeping default digests untouched.
+            errors = None
+            if config.channel_errors.enabled:
+                errors = ChannelErrorModel(
+                    config.channel_errors,
+                    self.sim.rng.split("channel-errors"),
+                    self.stats,
+                )
             self.wireless = WirelessDataChannel(
                 self.sim,
                 config.wireless,
                 config.num_cores,
                 self.stats,
                 self.sim.rng.split("wnoc"),
+                mac=get_mac(config.mac),
+                errors=errors,
             )
             self.tone = ToneChannel(
-                self.sim, config.wireless.tone_cycles, self.stats
+                self.sim,
+                config.wireless.tone_cycles,
+                self.stats,
+                errors=errors,
             )
 
         self.memory = MainMemory()

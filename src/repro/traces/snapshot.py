@@ -280,7 +280,13 @@ def capture_machine(machine, cores, barrier=None, progress: Optional[Dict] = Non
         snap["wireless"] = {
             "busy_until": machine.wireless._busy_until,
             "backoff": [p._rng._state for p in machine.wireless._backoff],
+            # MAC-specific state beyond the backoff streams (token position,
+            # CSMA persistence RNG, FDMA sub-channel horizons; {} for brs).
+            "mac": machine.wireless._mac.snapshot(),
         }
+        errors = machine.wireless._errors
+        if errors is not None:
+            snap["wireless"]["errors_rng"] = errors._rng._state
     if progress is not None:
         snap["progress"] = progress
     return snap
@@ -455,6 +461,14 @@ def restore_machine(machine, cores, snapshot: Dict) -> None:
             machine.wireless._backoff, wireless_saved["backoff"]
         ):
             policy._rng._state = state
+        # Absent in snapshots recorded before MAC backends were pluggable;
+        # those ran brs, whose extra state is empty.
+        mac_saved = wireless_saved.get("mac")
+        if mac_saved:
+            machine.wireless._mac.restore(mac_saved)
+        errors_rng = wireless_saved.get("errors_rng")
+        if errors_rng is not None and machine.wireless._errors is not None:
+            machine.wireless._errors._rng._state = errors_rng
     _restore_stats(machine.stats, snapshot["stats"])
     for core, payload in zip(cores, snapshot["cores"]):
         _restore_core(core, payload)

@@ -163,12 +163,14 @@ def _install_tone_jitter(machine: Manycore, spec: TrialSpec) -> None:
     original_drop = tone.drop
     sim = machine.sim
 
-    def jittered_drop(key: int, node: int) -> None:
+    def jittered_drop(key: int, node: int, _retry: bool = False) -> None:
+        # ``_retry`` marks the channel-error model's re-delivery; forward
+        # it so a jittered retry is not mistaken for a fresh drop.
         hold = rng.randint(0, spec.tone_jitter)
         if hold == 0:
-            original_drop(key, node)
+            original_drop(key, node, _retry=_retry)
         else:
-            sim.schedule(hold, lambda: original_drop(key, node))
+            sim.schedule(hold, lambda: original_drop(key, node, _retry=_retry))
 
     tone.drop = jittered_drop  # type: ignore[method-assign]
 
@@ -219,6 +221,8 @@ def generate_trial(
     protocol: str = "widir",
     check_interval: int = 150,
     max_wired_sharers: Optional[int] = None,
+    mac: str = "brs",
+    channel_errors: bool = False,
 ) -> TrialSpec:
     """Derive trial ``index`` of a campaign rooted at ``seed``.
 
@@ -226,6 +230,12 @@ def generate_trial(
     (maximum contention) with a sprinkle of RMWs on a dedicated counter and
     think-time delays. Stores write globally unique values so the
     provenance oracle can attribute every observed load.
+
+    ``mac`` selects the wireless MAC backend (ignored on wired machines);
+    ``channel_errors`` turns on seeded frame-corruption and missed-tone
+    injection, exercising the retransmit paths under every oracle. Both
+    knobs are config-only — they draw nothing from the trial RNG, so the
+    default trials are bit-identical to the pre-MAC-zoo campaigns.
     """
     from repro.coherence.backend import get_backend
 
@@ -236,7 +246,19 @@ def generate_trial(
         protocol=protocol,
         seed=rng.randint(0, 2**31 - 1),
         check_interval=check_interval,
+        mac=mac if backend.uses_wireless else "brs",
     )
+    if channel_errors and backend.uses_wireless:
+        from dataclasses import replace as _replace
+
+        from repro.config.system import ChannelErrorConfig
+
+        config = _replace(
+            config,
+            channel_errors=ChannelErrorConfig(
+                frame_corruption_prob=0.05, missed_tone_prob=0.05
+            ),
+        )
     if max_wired_sharers is not None:
         from dataclasses import replace
 
@@ -494,20 +516,29 @@ class FuzzCampaign:
     trials: int
     num_cores: int
     ops_per_core: int
-    #: (protocol, max_wired_sharers or None) mix cycled across trials.
-    machines: Tuple[Tuple[str, Optional[int]], ...] = (
+    #: Machine mix cycled across trials. Entries are
+    #: ``(protocol, max_wired_sharers or None[, mac[, channel_errors]])``;
+    #: the first six rows predate the MAC zoo and keep their positions so
+    #: low trial counts reproduce the historical mix.
+    machines: Tuple[Tuple, ...] = (
         ("widir", None),
         ("widir", 1),
         ("baseline", None),
         ("phase_priority", None),
         ("hybrid_update", None),
         ("hybrid_update", 1),
+        ("widir", None, "token"),
+        ("widir", 1, "csma_slotted"),
+        ("widir", None, "fdma"),
+        ("widir", 1, "token", True),
+        ("widir", None, "csma_slotted", True),
+        ("widir", None, "brs", True),
     )
     check_interval: int = 150
 
 
 CAMPAIGNS: Dict[str, FuzzCampaign] = {
-    "smoke": FuzzCampaign("smoke", trials=9, num_cores=8, ops_per_core=30),
+    "smoke": FuzzCampaign("smoke", trials=12, num_cores=8, ops_per_core=30),
     "deep": FuzzCampaign("deep", trials=60, num_cores=16, ops_per_core=90),
 }
 
@@ -548,14 +579,17 @@ def run_campaign(
     (mutation smoke testing). ``on_trial(index, spec, result)`` is invoked
     after each trial (progress reporting / artifact capture).
     """
-    from repro.verify.mutations import mutation_protocols
+    from repro.verify.mutations import mutation_macs, mutation_protocols
 
     plan = CAMPAIGNS[campaign]
     count = trials if trials is not None else plan.trials
     result = CampaignResult(campaign=campaign, seed=seed)
     machines = plan.machines
     for index in range(count):
-        protocol, mws = machines[index % len(machines)]
+        entry = machines[index % len(machines)]
+        protocol, mws = entry[0], entry[1]
+        mac = entry[2] if len(entry) > 2 else "brs"
+        channel_errors = bool(entry[3]) if len(entry) > 3 else False
         spec = generate_trial(
             seed,
             index,
@@ -564,8 +598,15 @@ def run_campaign(
             protocol=protocol,
             check_interval=plan.check_interval,
             max_wired_sharers=mws,
+            mac=mac,
+            channel_errors=channel_errors,
         )
-        if mutation and protocol in mutation_protocols(mutation):
+        macs = mutation_macs(mutation) if mutation else ()
+        if (
+            mutation
+            and protocol in mutation_protocols(mutation)
+            and (not macs or mac in macs)
+        ):
             # Record the mutation on the spec so any captured artifact
             # replays it. (Each mutation targets one backend's machinery;
             # other protocols' trials stay unmutated so they remain

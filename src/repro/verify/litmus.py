@@ -551,7 +551,9 @@ def suite_configs(num_cores: int = 8) -> List[Tuple[str, SystemConfig]]:
             hybrid.directory, num_pointers=num_cores, max_wired_sharers=1
         ),
     )
-    return [
+    from repro.wireless.mac import DEFAULT_MAC, mac_names
+
+    matrix = [
         ("baseline", baseline),
         ("widir", widir),
         ("widir-mws1", tight),
@@ -559,6 +561,24 @@ def suite_configs(num_cores: int = 8) -> List[Tuple[str, SystemConfig]]:
         ("hybrid_update", hybrid),
         ("hybrid_update-mws1", hybrid_tight),
     ]
+    # Every non-default MAC gets a row on the wireless protocol, both with
+    # the stock threshold and the tight one that maximizes wireless traffic.
+    for mac in mac_names():
+        if mac == DEFAULT_MAC:
+            continue
+        matrix.append((f"widir-{mac}", replace(widir, mac=mac)))
+        matrix.append((f"widir-mws1-{mac}", replace(tight, mac=mac)))
+    # Channel errors exercise the retransmit paths under every litmus shape.
+    errors = replace(
+        widir,
+        channel_errors=replace(
+            widir.channel_errors,
+            frame_corruption_prob=0.1,
+            missed_tone_prob=0.1,
+        ),
+    )
+    matrix.append(("widir-chanerr", errors))
+    return matrix
 
 
 def run_suite(

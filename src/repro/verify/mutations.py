@@ -45,11 +45,11 @@ def _lost_tone_drop(machine: Manycore) -> None:
     original_drop = tone.drop
     state = {"count": 0}
 
-    def lossy_drop(key: int, node: int) -> None:
+    def lossy_drop(key: int, node: int, _retry: bool = False) -> None:
         state["count"] += 1
         if state["count"] % 3 == 0:
             return  # the drop vanishes into the ether
-        original_drop(key, node)
+        original_drop(key, node, _retry=_retry)
 
     tone.drop = lossy_drop  # type: ignore[method-assign]
 
@@ -146,6 +146,39 @@ def _hyb_stale_update(machine: Manycore) -> None:
         cache.handle_message = skewed  # type: ignore[method-assign]
 
 
+def _token_lost(machine: Manycore) -> None:
+    """The token MAC loses its token: nobody is ever polled again.
+
+    Contention slots tick forever without a grant, so every wireless store
+    stalls at the channel. Detected as a deadlock (unfinished programs or
+    an exceeded event budget).
+    """
+    from repro.wireless.mac_token import TokenMacState
+
+    if machine.wireless is None or not isinstance(
+        machine.wireless._mac, TokenMacState
+    ):
+        raise ValueError("token_lost needs a WiDir machine on the token MAC")
+    machine.wireless._mac._lost = True
+
+
+def _csma_always_defer(machine: Manycore) -> None:
+    """The CSMA persistence gate jams shut: every slot draw fails.
+
+    No node ever transmits, so the channel idles from slot to slot while
+    wireless stores queue forever. Detected as a deadlock.
+    """
+    from repro.wireless.mac_csma import CsmaSlottedMacState
+
+    if machine.wireless is None or not isinstance(
+        machine.wireless._mac, CsmaSlottedMacState
+    ):
+        raise ValueError(
+            "csma_always_defer needs a WiDir machine on the csma_slotted MAC"
+        )
+    machine.wireless._mac._persistence = -1.0
+
+
 #: name -> patcher. Names are part of the CLI surface (``--mutate``).
 MUTATIONS: Dict[str, Callable[[Manycore], None]] = {
     "no_jam_nack": _no_jam_nack,
@@ -154,6 +187,8 @@ MUTATIONS: Dict[str, Callable[[Manycore], None]] = {
     "pp_drop_deferred": _pp_drop_deferred,
     "hyb_lost_upd_ack": _hyb_lost_upd_ack,
     "hyb_stale_update": _hyb_stale_update,
+    "token_lost": _token_lost,
+    "csma_always_defer": _csma_always_defer,
 }
 
 #: name -> protocols the mutation is meaningful for. Fuzz campaigns apply
@@ -166,6 +201,16 @@ MUTATION_PROTOCOLS: Dict[str, Tuple[str, ...]] = {
     "pp_drop_deferred": ("phase_priority",),
     "hyb_lost_upd_ack": ("hybrid_update",),
     "hyb_stale_update": ("hybrid_update",),
+    "token_lost": ("widir",),
+    "csma_always_defer": ("widir",),
+}
+
+#: name -> MAC backends the mutation targets. Empty/absent means the
+#: mutation is MAC-agnostic; fuzz campaigns apply MAC-scoped mutations
+#: only to trials whose machine runs a listed MAC.
+MUTATION_MACS: Dict[str, Tuple[str, ...]] = {
+    "token_lost": ("token",),
+    "csma_always_defer": ("csma_slotted",),
 }
 
 
@@ -176,6 +221,15 @@ def mutation_protocols(name: str) -> Tuple[str, ...]:
             f"unknown mutation {name!r}; available: {sorted(MUTATIONS)}"
         )
     return MUTATION_PROTOCOLS.get(name, ("widir",))
+
+
+def mutation_macs(name: str) -> Tuple[str, ...]:
+    """MAC backends the named mutation targets; empty means any MAC."""
+    if name not in MUTATIONS:
+        raise KeyError(
+            f"unknown mutation {name!r}; available: {sorted(MUTATIONS)}"
+        )
+    return MUTATION_MACS.get(name, ())
 
 
 def apply_mutation(machine: Manycore, name: str) -> None:

@@ -3,24 +3,40 @@
 Two channels, exactly as in the paper (Section III-A):
 
 * the **data channel** (:class:`~repro.wireless.channel.WirelessDataChannel`)
-  — a single shared broadcast medium running the BRS MAC protocol: 1-cycle
-  preamble, 1-cycle collision detect, 4-cycle payload, exponential backoff on
-  collision — extended with the paper's *Selective Data-Channel Jamming*
-  primitive; and
+  — a single shared broadcast medium whose medium-access discipline is a
+  pluggable MAC backend (:mod:`repro.wireless.mac`; the default ``brs``
+  reproduces the paper's protocol: 1-cycle preamble, 1-cycle collision
+  detect, 4-cycle payload, exponential backoff on collision) — extended
+  with the paper's *Selective Data-Channel Jamming* primitive and an
+  optional seeded channel-error model (:mod:`repro.wireless.errors`); and
 * the **tone channel** (:class:`~repro.wireless.tone.ToneChannel`) — the
   special-purpose acknowledgment channel behind the *ToneAck* primitive.
 """
 
-from repro.wireless.brs import BackoffPolicy
 from repro.wireless.channel import TransmitRequest, WirelessDataChannel
+from repro.wireless.errors import ChannelErrorModel
 from repro.wireless.frames import WirelessFrame
+from repro.wireless.mac import (
+    BackoffPolicy,
+    MacBackend,
+    get_mac,
+    mac_names,
+    register_mac,
+    registered_macs,
+)
 from repro.wireless.tone import ToneAckOperation, ToneChannel
 
 __all__ = [
     "BackoffPolicy",
+    "ChannelErrorModel",
+    "MacBackend",
     "ToneAckOperation",
     "ToneChannel",
     "TransmitRequest",
     "WirelessDataChannel",
     "WirelessFrame",
+    "get_mac",
+    "mac_names",
+    "register_mac",
+    "registered_macs",
 ]

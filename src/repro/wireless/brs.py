@@ -1,52 +1,33 @@
-"""Exponential backoff policy of the BRS MAC protocol.
+"""Deprecated shim: BRS MAC internals moved to :mod:`repro.wireless.mac`.
 
-After a collision (or a jam, which a transmitter cannot distinguish from a
-collision), a node waits a uniformly random number of cycles drawn from a
-window that doubles with each consecutive failure, up to a cap.
+The BRS discipline is now one pluggable MAC backend among several
+(``token``, ``csma_slotted``, ``fdma`` — see docs/MAC.md), and its
+:class:`~repro.wireless.mac.BackoffPolicy` lives with the registry. This
+module re-exports the moved names with a :class:`DeprecationWarning` (PEP
+562) so direct ``from repro.wireless.brs import BackoffPolicy`` imports
+keep working for one deprecation cycle.
 """
 
 from __future__ import annotations
 
-from repro.engine.rng import DeterministicRng
+import warnings
+
+_MOVED = ("BackoffPolicy",)
 
 
-class BackoffPolicy:
-    """Per-node deterministic exponential backoff state."""
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.wireless.brs.{name} moved to repro.wireless.mac.{name}; "
+            "the repro.wireless.brs shim will be removed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.wireless import mac
 
-    __slots__ = ("base", "max_exponent", "node", "obs", "_rng")
+        return getattr(mac, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    def __init__(
-        self,
-        base: int,
-        max_exponent: int,
-        rng: DeterministicRng,
-        node: int = -1,
-    ) -> None:
-        self.base = base
-        self.max_exponent = max_exponent
-        #: The node whose transceiver this policy models (diagnostics only).
-        self.node = node
-        #: Observability hook (set by Observability.install(); None — the
-        #: default — costs one attribute test per drawn delay and nothing
-        #: else; see repro.obs.hooks). The hook observes the drawn delay
-        #: *after* the RNG draw, so tracing never perturbs the stream.
-        self.obs = None
-        self._rng = rng
 
-    def delay_for_attempt(self, failures: int) -> int:
-        """Backoff delay after the ``failures``-th consecutive failure (>=1).
-
-        The delay is uniform in ``[1, base * 2**(exponent-1)]`` where the
-        exponent grows with the failure count up to ``max_exponent``, so the
-        result is always bounded by ``base * 2**max_exponent`` and fully
-        determined by the policy's RNG stream. ``max_exponent == 0`` (legal
-        per :class:`~repro.config.system.WirelessConfig`) degenerates to a
-        fixed window of ``base`` cycles instead of shifting by -1.
-        """
-        exponent = min(max(failures, 1), max(self.max_exponent, 1))
-        window = self.base << (exponent - 1)
-        delay = 1 + self._rng.randint(0, window - 1)
-        obs = self.obs
-        if obs is not None:
-            obs.brs_backoff(self.node, failures, delay)
-        return delay
+def __dir__():
+    return sorted(list(globals()) + list(_MOVED))

@@ -1,27 +1,34 @@
-"""The shared wireless data channel with the BRS MAC and selective jamming.
+"""The shared wireless data channel with pluggable MAC and selective jamming.
 
 Model
 -----
-The medium is a single broadcast resource. A node with a frame to send waits
-until the medium is free. If exactly one node starts transmitting in a given
-cycle, the frame occupies the medium for
-``preamble + collision_detect + payload`` cycles, at the end of which every
-node on the chip receives it. If two or more nodes start in the same cycle,
-they discover the collision in the collision-detect slot, abort, and retry
-after an exponential backoff (:class:`~repro.wireless.brs.BackoffPolicy`).
+The medium is a single broadcast resource (or, for multi-channel MACs, a
+statically partitioned one). A node with a frame to send queues a
+:class:`TransmitRequest`; *who* transmits when several nodes contend —
+and what happens after a collision or a NACK — is decided by the MAC
+backend named by ``config.mac`` (:mod:`repro.wireless.mac`). The default
+``brs`` MAC reproduces the paper's discipline exactly: if exactly one
+node starts transmitting in a given cycle, the frame occupies the medium
+for ``preamble + collision_detect + payload`` cycles, at the end of which
+every node on the chip receives it; if two or more start in the same
+cycle, they discover the collision in the collision-detect slot, abort,
+and retry after an exponential backoff
+(:class:`~repro.wireless.mac.BackoffPolicy`).
 
-*Selective jamming* (paper Section III-C1): a directory that is mid-transition
-for a line registers that line address with the channel; any frame for a
-jammed line is negative-acked in the collision-detect slot exactly as if it
-had collided, so the sender backs off and retries. An optional partial-address
-mask models the paper's "false positives" (only some address bits visible in
-the first cycle).
+*Selective jamming* (paper Section III-C1): a directory that is
+mid-transition for a line registers that line address with the channel;
+any frame for a jammed line is negative-acked in the collision-detect
+slot exactly as if it had collided, so the sender retries under the
+MAC's NACK policy. An optional partial-address mask models the paper's
+"false positives" (only some address bits visible in the first cycle).
+An optional seeded :class:`~repro.wireless.errors.ChannelErrorModel` adds
+frame corruption through the same NACK path.
 
-*Serialization point* (paper Section IV-C): the moment a frame survives the
-collision-detect slot it is guaranteed to transmit. The channel invokes the
-request's ``on_commit`` callback at that cycle — this is when a wireless
-write may merge into the local cache — and delivers the broadcast to all
-receivers when the payload finishes.
+*Serialization point* (paper Section IV-C): the moment a frame survives
+the collision-detect slot it is guaranteed to transmit. The channel
+invokes the request's ``on_commit`` callback at that cycle — this is when
+a wireless write may merge into the local cache — and delivers the
+broadcast to all receivers when the payload finishes.
 
 Requests are cancellable until their commit point, which the wireless-RMW
 implementation relies on.
@@ -29,14 +36,15 @@ implementation relies on.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional
 
 from repro.config.system import WirelessConfig
 from repro.engine.rng import DeterministicRng
 from repro.engine.simulator import Simulator
 from repro.stats.collectors import StatsRegistry
-from repro.wireless.brs import BackoffPolicy
+from repro.wireless.errors import ChannelErrorModel
 from repro.wireless.frames import WirelessFrame
+from repro.wireless.mac import DEFAULT_MAC, MacBackend, get_mac
 
 
 class TransmitRequest:
@@ -86,7 +94,7 @@ class TransmitRequest:
 
 
 class WirelessDataChannel:
-    """Single shared 60 GHz broadcast medium with BRS arbitration."""
+    """Shared 60 GHz broadcast medium with a pluggable MAC discipline."""
 
     def __init__(
         self,
@@ -96,11 +104,16 @@ class WirelessDataChannel:
         stats: StatsRegistry,
         rng: DeterministicRng,
         jam_address_bits: Optional[int] = None,
+        mac: Optional[MacBackend] = None,
+        errors: Optional[ChannelErrorModel] = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.num_nodes = num_nodes
         self.stats = stats
+        #: The MAC's RNG root; every policy stream is a labelled split of
+        #: this, so MAC construction never advances it.
+        self.rng = rng
         #: Bits of the line address visible in the preamble for jam matching;
         #: None means exact matching (no false positives).
         self.jam_address_bits = jam_address_bits
@@ -113,31 +126,32 @@ class WirelessDataChannel:
         #: non-nested pair per line, for which the behaviour is identical
         #: to the historical plain set.
         self._jammed_lines: Dict[int, int] = {}
-        #: The sole arbitration winner currently occupying the medium
-        #: (between its arbitration cycle and its finish event); observed
-        #: by the online invariant checker's per-line quiescence predicate.
-        self._active_request: Optional[TransmitRequest] = None
+        #: Arbitration winners currently occupying the medium (between
+        #: their arbitration cycle and their finish event). Single-medium
+        #: MACs keep at most one entry; multi-channel MACs may carry one
+        #: per sub-channel.
+        self._active: List[TransmitRequest] = []
         self._busy_until = 0
         self._arbitration_scheduled_at: Optional[int] = None
         #: Observability hook (set by Observability.install(); None — the
         #: default — costs one attribute test per channel operation and
         #: nothing else; see repro.obs.hooks).
         self.obs = None
-        self._backoff = [
-            BackoffPolicy(
-                config.backoff_base_cycles,
-                config.backoff_max_exponent,
-                rng.split(f"backoff-{node}"),
-                node=node,
-            )
-            for node in range(num_nodes)
-        ]
+        self._errors = errors
         self._attempts = stats.counter("wnoc.attempts")
         self._successes = stats.counter("wnoc.frames")
         self._collisions = stats.counter("wnoc.collisions")
         self._jams = stats.counter("wnoc.jams")
         self._cancellations = stats.counter("wnoc.cancellations")
         self._busy_cycles = stats.counter("wnoc.busy_cycles")
+        #: The MAC discipline. Built last: the state factory receives the
+        #: fully initialised channel (config, rng, stats, counters).
+        self.mac_backend = mac if mac is not None else get_mac(DEFAULT_MAC)
+        self._mac = self.mac_backend.state_factory(self)
+        #: Per-node backoff policies for MACs that use them (``()``
+        #: otherwise) — obs install, the fuzz backoff scrambler, and
+        #: machine snapshots iterate this.
+        self._backoff = self._mac.backoff_policies
 
     # ------------------------------------------------------------------ API
 
@@ -199,12 +213,30 @@ class WirelessDataChannel:
         the medium — the window in which copies of the line may legally
         disagree (a committed WirUpd merged at the sender but not yet
         delivered). Used by the online invariant checker."""
-        active = self._active_request
-        if active is not None and not active.cancelled and active.frame.line == line:
-            return True
+        for active in self._active:
+            if not active.cancelled and active.frame.line == line:
+                return True
         return any(
             not r.cancelled and r.frame.line == line for r in self._pending
         )
+
+    @property
+    def _active_request(self) -> Optional[TransmitRequest]:
+        """The sole occupant for single-medium MACs (compat accessor;
+        observed by the online invariant checker and the snapshot
+        quiescence gate)."""
+        return self._active[0] if self._active else None
+
+    @property
+    def settle_cycles(self) -> int:
+        """Worst-case cycles a granted frame may still be in the air.
+
+        Protocol jam-settle windows and the consistency validator's
+        write-visibility lag are sized from this, not from the raw
+        ``frame_cycles`` — MACs that stretch airtime (FDMA) or delay the
+        transmission start (token rotation) report a larger value.
+        """
+        return self._mac.max_airtime()
 
     @property
     def collision_probability(self) -> float:
@@ -216,10 +248,63 @@ class WirelessDataChannel:
     def idle(self) -> bool:
         return self.sim.now >= self._busy_until and not self._pending
 
+    # ----------------------------------------------------------- MAC seam
+
+    def _nacked(self, request: TransmitRequest) -> bool:
+        """Is ``request`` negative-acked in the collision-detect slot?
+
+        Selective jamming first (the directory acts before the payload),
+        then seeded frame corruption. A disabled error model draws
+        nothing, keeping the default configuration digest-identical to
+        the pre-error-model channel.
+        """
+        obs = self.obs
+        if request.frame.jammable and self.is_jammed(request.frame.line):
+            self._jams.add()
+            if obs is not None:
+                obs.frame_phase(request, "jammed")
+            return True
+        errors = self._errors
+        if errors is not None and errors.corrupts_frame(request.failures):
+            if obs is not None:
+                obs.frame_phase(request, "corrupt")
+            return True
+        return False
+
+    def grant(
+        self,
+        request: TransmitRequest,
+        now: int,
+        start_delay: int,
+        duration: int,
+    ) -> None:
+        """Put ``request`` on the medium (called by the MAC's arbitrate).
+
+        ``start_delay`` models pre-transmission latency the MAC charges
+        (e.g. token rotation); ``duration`` is the airtime from
+        transmission start to delivery. The commit (serialization point)
+        fires after the header, the broadcast fan-out at the end.
+
+        The request leaves the pending list *now* — a stale arbitration
+        event firing at the end-of-frame cycle (before the finish event)
+        must not see it as a contender and transmit it twice.
+        """
+        self._remove_pending(request)
+        self._active.append(request)
+        start = now + start_delay
+        finish = start + duration
+        self._busy_until = max(self._busy_until, finish)
+        self._busy_cycles.add(duration)
+        header = self.config.preamble_cycles + self.config.collision_detect_cycles
+        self.sim.schedule_at(start + header, lambda: self._commit(request))
+        self.sim.schedule_at(finish, lambda: self._finish(request))
+        if self._pending:
+            self._schedule_arbitration(finish)
+
     # ----------------------------------------------------------- internals
 
     def _schedule_arbitration(self, at: int) -> None:
-        at = max(at, self._busy_until, self.sim.now)
+        at = self._mac.clamp_arbitration(max(at, self.sim.now))
         if self._arbitration_scheduled_at is not None and (
             self._arbitration_scheduled_at <= at
         ):
@@ -230,8 +315,9 @@ class WirelessDataChannel:
     def _arbitrate(self) -> None:
         self._arbitration_scheduled_at = None
         now = self.sim.now
-        if now < self._busy_until:
-            self._schedule_arbitration(self._busy_until)
+        defer_until = self._mac.busy_defer(now)
+        if defer_until is not None:
+            self._schedule_arbitration(defer_until)
             return
         obs = self.obs
         if obs is None:
@@ -252,77 +338,7 @@ class WirelessDataChannel:
         if not contenders:
             self._schedule_arbitration(min(r.ready_time for r in self._pending))
             return
-
-        config = self.config
-        header = config.preamble_cycles + config.collision_detect_cycles
-        self._attempts.add(len(contenders))
-
-        if len(contenders) > 1:
-            # Simultaneous preambles: all discover the collision and back off.
-            self._collisions.add(len(contenders))
-            self._busy_until = now + header
-            self._busy_cycles.add(header)
-            self._back_off_cohort(contenders, header, obs)
-            self._schedule_arbitration(self._busy_until)
-            return
-
-        request = contenders[0]
-        if request.frame.jammable and self.is_jammed(request.frame.line):
-            # The jamming directory NACKs in the collision-detect slot; the
-            # sender cannot tell this from a real collision.
-            self._jams.add()
-            self._busy_until = now + header
-            self._busy_cycles.add(header)
-            if obs is not None:
-                obs.frame_phase(request, "jammed")
-            self._back_off(request)
-            self._schedule_arbitration(self._busy_until)
-            return
-
-        # Sole uncontended transmitter: the frame will complete. Remove it
-        # from the pending list *now* — a stale arbitration event firing at
-        # the end-of-frame cycle (before the finish event) must not see it
-        # as a contender and transmit it twice.
-        self._remove_pending(request)
-        self._active_request = request
-        self._busy_until = now + config.frame_cycles
-        self._busy_cycles.add(config.frame_cycles)
-        self.sim.schedule_at(now + header, lambda: self._commit(request))
-        self.sim.schedule_at(self._busy_until, lambda: self._finish(request))
-        if self._pending:
-            self._schedule_arbitration(self._busy_until)
-
-    def _back_off_cohort(self, requests, header: int, obs) -> None:
-        """Back off a whole collision cohort with batched bookkeeping.
-
-        Per-request behaviour (failure bump, per-node RNG draw, obs events
-        in collision→backoff order) is identical to calling
-        :meth:`_back_off` on each request; the header constant, backoff
-        table, and clock are fetched once for the cohort instead of per
-        loser.
-        """
-        now = self.sim.now
-        backoff = self._backoff
-        num_nodes = self.num_nodes
-        for request in requests:
-            if obs is not None:
-                obs.frame_phase(request, "collision")
-            request.failures += 1
-            policy = backoff[request.frame.src % num_nodes]
-            delay = policy.delay_for_attempt(request.failures)
-            if obs is not None:
-                obs.frame_phase(request, "backoff")
-            request.ready_time = now + header + delay
-
-    def _back_off(self, request: TransmitRequest) -> None:
-        request.failures += 1
-        policy = self._backoff[request.frame.src % self.num_nodes]
-        delay = policy.delay_for_attempt(request.failures)
-        obs = self.obs
-        if obs is not None:
-            obs.frame_phase(request, "backoff")
-        header = self.config.preamble_cycles + self.config.collision_detect_cycles
-        request.ready_time = self.sim.now + header + delay
+        self._mac.arbitrate(now, contenders)
 
     def _commit(self, request: TransmitRequest) -> None:
         """Serialization point: the frame is now guaranteed to transmit."""
@@ -341,8 +357,10 @@ class WirelessDataChannel:
             request.on_commit()
 
     def _finish(self, request: TransmitRequest) -> None:
-        if self._active_request is request:
-            self._active_request = None
+        try:
+            self._active.remove(request)
+        except ValueError:
+            pass
         if not request.committed:
             self._schedule_arbitration(self.sim.now)
             return

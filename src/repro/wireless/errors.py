@@ -1,0 +1,71 @@
+"""Seeded wireless channel-error model.
+
+Models the two loss classes of a real mm-wave link that the ideal channel
+abstracts away, as *seeded, deterministic* perturbations:
+
+* **Frame corruption** — with probability ``frame_corruption_prob`` a
+  frame's preamble/payload arrives garbled and is NACKed in the
+  collision-detect slot. The sender cannot distinguish this from a
+  collision or a jam, so the retransmit path is the MAC's ordinary NACK
+  policy — the exact machinery the fuzz liveness oracles already audit.
+* **Missed tone** — with probability ``missed_tone_prob`` a node's
+  tone-drop goes unheard by the initiator and is re-signalled
+  ``tone_retry_cycles`` later. The retry is unconditional (one miss per
+  drop, never a permanent loss), so ToneAck completion is delayed but
+  guaranteed.
+
+Determinism and digest policy: all draws come from one dedicated labelled
+RNG split (``channel-errors``), created only when the model is enabled —
+a disabled model performs **zero** draws and registers **zero** counters,
+so every pre-error-model golden digest is untouched. Corruption is
+additionally capped after :data:`MAX_CORRUPTIONS` failures of the same
+request, making liveness a structural property rather than a
+probabilistic one.
+"""
+
+from __future__ import annotations
+
+from repro.config.system import ChannelErrorConfig
+from repro.engine.rng import DeterministicRng
+from repro.stats.collectors import StatsRegistry
+
+#: A request that has already failed this many times is never corrupted
+#: again — retransmit liveness must not depend on RNG luck.
+MAX_CORRUPTIONS = 4
+
+
+class ChannelErrorModel:
+    """Shared error source for the data channel and the tone channel."""
+
+    __slots__ = ("config", "_rng", "_corrupted", "_missed")
+
+    def __init__(
+        self,
+        config: ChannelErrorConfig,
+        rng: DeterministicRng,
+        stats: StatsRegistry,
+    ) -> None:
+        self.config = config
+        self._rng = rng
+        self._corrupted = stats.counter("wnoc.corrupted")
+        self._missed = stats.counter("tone.missed")
+
+    def corrupts_frame(self, failures: int) -> bool:
+        """Draw whether the frame garbles in flight (NACK in CD slot)."""
+        probability = self.config.frame_corruption_prob
+        if probability <= 0.0 or failures >= MAX_CORRUPTIONS:
+            return False
+        if self._rng.random() < probability:
+            self._corrupted.add()
+            return True
+        return False
+
+    def misses_tone(self) -> bool:
+        """Draw whether a tone drop goes unheard (re-signalled later)."""
+        probability = self.config.missed_tone_prob
+        if probability <= 0.0:
+            return False
+        if self._rng.random() < probability:
+            self._missed.add()
+            return True
+        return False

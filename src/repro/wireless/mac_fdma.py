@@ -1,0 +1,119 @@
+"""Static multi-channel FDMA MAC backend (``fdma``).
+
+The medium is partitioned into ``WirelessConfig.fdma_channels``
+sub-channels, each carrying 1/k of the aggregate bandwidth (a frame
+occupies its sub-channel for ``frame_cycles * k``). A line address maps
+to exactly one sub-channel via a fixed fold of its bits — the partition
+is *total* and static, so two frames can only meet on the same
+sub-channel, where strict FIFO service makes the discipline
+collision-free (``wnoc.collisions`` stays 0; the differential harness
+asserts it).
+
+Sub-channels operate concurrently: one arbitration round may grant
+several frames, and the busy-gating hooks are overridden so a free
+sub-channel is never blocked behind a busy one. NACKs (jam/corruption)
+occupy the sub-channel for the header and retry on the next round —
+FIFO order itself provides fairness, so there is no randomised backoff
+(``uses_backoff=False``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.wireless.mac import MacBackend, MacState, register_mac
+
+
+class FdmaMacState(MacState):
+    """Per-sub-channel busy horizon plus the static line partition."""
+
+    def __init__(self, channel) -> None:
+        super().__init__(channel)
+        self._k = max(1, channel.config.fdma_channels)
+        self._sub_busy = [0] * self._k
+        self._grants = channel.stats.counter("wnoc.fdma_grants")
+
+    def subchannel(self, line: int) -> int:
+        """The sub-channel ``line`` is statically assigned to.
+
+        Folding the tag bits onto the low bits keeps the partition total
+        for both line-index and line-aligned-byte-address conventions
+        (aligned addresses have constant low bits, which a plain modulo
+        would collapse onto one sub-channel).
+        """
+        return ((line >> 6) ^ line) % self._k
+
+    # -- busy gating: a free sub-channel is never blocked ----------------
+
+    def busy_defer(self, now: int) -> Optional[int]:
+        free_at = min(self._sub_busy)
+        return free_at if now < free_at else None
+
+    def clamp_arbitration(self, at: int) -> int:
+        return at
+
+    def max_airtime(self) -> int:
+        """Each sub-channel runs at 1/k bandwidth: k x the airtime."""
+        return self.channel.config.frame_cycles * self._k
+
+    def arbitrate(self, now: int, contenders: List) -> None:
+        channel = self.channel
+        config = channel.config
+        header = config.preamble_cycles + config.collision_detect_cycles
+        duration = config.frame_cycles * self._k
+        taken = set()
+        busy_wakeups = []
+        granted = False
+        for request in contenders:
+            sub = self.subchannel(request.frame.line)
+            if sub in taken:
+                continue  # FIFO: an earlier frame won this round
+            if self._sub_busy[sub] > now:
+                busy_wakeups.append(self._sub_busy[sub])
+                continue
+            taken.add(sub)
+            channel._attempts.add()
+            if channel._nacked(request):
+                self._sub_busy[sub] = now + header
+                channel._busy_until = max(channel._busy_until, now + header)
+                channel._busy_cycles.add(header)
+                self.nack(request, now, header)
+                busy_wakeups.append(self._sub_busy[sub])
+                continue
+            self._sub_busy[sub] = now + duration
+            self._grants.add()
+            channel.grant(request, now, 0, duration)
+            granted = True
+        if channel._pending:
+            # Skipped frames (busy or lost-FIFO sub-channel) and NACK
+            # retries need a wake-up even when nothing was granted this
+            # round (grants schedule their own at frame finish).
+            wake = max(
+                now + 1,
+                min((r.ready_time for r in channel._pending), default=now),
+            )
+            if busy_wakeups:
+                wake = min(wake, max(now + 1, min(busy_wakeups)))
+            if not granted or busy_wakeups:
+                channel._schedule_arbitration(wake)
+
+    def snapshot(self) -> Dict:
+        return {"sub_busy": list(self._sub_busy)}
+
+    def restore(self, payload: Dict) -> None:
+        self._sub_busy = [int(value) for value in payload["sub_busy"]]
+
+
+register_mac(
+    MacBackend(
+        name="fdma",
+        description=(
+            "Static FDMA line partitioning: fdma_channels concurrent "
+            "sub-channels at 1/k bandwidth each, collision-free FIFO."
+        ),
+        collision_free=True,
+        uses_backoff=False,
+        multi_channel=True,
+        state_factory=FdmaMacState,
+    )
+)

@@ -52,9 +52,19 @@ class ToneAckOperation:
 class ToneChannel:
     """Bookkeeping for ToneAck operations on the 90 GHz channel."""
 
-    def __init__(self, sim: Simulator, tone_cycles: int, stats: StatsRegistry) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        tone_cycles: int,
+        stats: StatsRegistry,
+        errors=None,
+    ) -> None:
         self.sim = sim
         self.tone_cycles = tone_cycles
+        #: Optional :class:`~repro.wireless.errors.ChannelErrorModel`; when
+        #: set, a tone drop may go unheard once and be re-signalled after
+        #: ``tone_retry_cycles`` (delayed, never lost).
+        self._errors = errors
         self._operations: Dict[int, ToneAckOperation] = {}
         #: Observability hook (set by Observability.install(); None — the
         #: default — costs one attribute test per operation and nothing
@@ -85,11 +95,22 @@ class ToneChannel:
             self._complete(operation)
         return operation
 
-    def drop(self, key: int, node: int) -> None:
+    def drop(self, key: int, node: int, _retry: bool = False) -> None:
         """Node ``node`` drops its tone for the operation keyed ``key``."""
         operation = self._operations.get(key)
         if operation is None:
             return  # late drop after completion: harmless, tone already off
+        errors = self._errors
+        if errors is not None and not _retry and errors.misses_tone():
+            # The initiator missed this node's tone transition; the node
+            # re-signals after a fixed delay. Exactly one retry — a second
+            # miss is structurally impossible — so ToneAck completion is
+            # delayed, never lost (the fuzz liveness oracle audits this).
+            self.sim.schedule(
+                errors.config.tone_retry_cycles,
+                lambda: self.drop(key, node, _retry=True),
+            )
+            return
         self._drops.add()
         obs = self.obs
         if obs is not None:

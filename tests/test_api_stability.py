@@ -26,7 +26,7 @@ REPO_SRC = Path(__file__).resolve().parent.parent / "src"
 EXPECTED_SIGNATURES = {
     "simulate": (
         "app", "protocol", "cores", "memops", "seed", "trace_seed",
-        "max_wired_sharers", "config", "workers", "cache",
+        "max_wired_sharers", "config", "workers", "cache", "mac",
     ),
     "compare": (
         "app", "cores", "memops", "seed", "trace_seed",
@@ -34,19 +34,21 @@ EXPECTED_SIGNATURES = {
     ),
     "sweep": (
         "kind", "apps", "app", "cores", "thresholds", "memops", "seed",
-        "workers", "cache", "executor", "protocols",
+        "workers", "cache", "executor", "protocols", "macs",
     ),
     "protocols": (),
+    "macs": (),
     "campaign": (
         "name", "apps", "out", "kind", "cores", "thresholds", "memops",
         "seed", "trace_seed", "workers", "cache", "timeout", "retries",
         "backoff_seed", "resume", "protocols", "trace_path", "trace_shards",
+        "macs",
     ),
     "distributed_campaign": (
         "name", "apps", "out", "kind", "cores", "thresholds", "memops",
         "seed", "trace_seed", "workers", "shards", "host", "port", "cache",
         "store", "tenant", "retries", "backoff_seed", "lease_timeout",
-        "timeout", "protocols", "trace_path", "trace_shards",
+        "timeout", "protocols", "trace_path", "trace_shards", "macs",
     ),
     "verify": (
         "campaign", "seed", "trials", "litmus", "litmus_schedules",
@@ -55,6 +57,7 @@ EXPECTED_SIGNATURES = {
     "trace": (
         "app", "protocol", "cores", "memops", "seed", "trace_seed",
         "max_wired_sharers", "sample_interval", "flight_recorder_depth",
+        "mac",
     ),
     "record_trace": (
         "app", "out", "cores", "memops", "trace_seed", "chunk_records",
@@ -67,13 +70,13 @@ EXPECTED_SIGNATURES = {
     "validate_trace": ("path",),
     "replay": (
         "path", "protocol", "seed", "max_wired_sharers", "config",
-        "snapshot_every", "snapshot_path", "expect_trace_id",
+        "snapshot_every", "mac", "snapshot_path", "expect_trace_id",
     ),
 }
 
 RESULT_TYPES = (
-    "ComparisonResult", "SweepResult", "TraceFileInfo", "TraceResult",
-    "VerifyReport",
+    "ComparisonResult", "MacInfo", "SweepResult", "TraceFileInfo",
+    "TraceResult", "VerifyReport",
 )
 
 

@@ -63,10 +63,10 @@ CHUNK_RECORDS = 64
 #: or generator change; an unexplained diff means the recorded stream or
 #: the replay path drifted from the live machine.
 GOLDEN_REPLAY_DIGESTS = {
-    "baseline": "ba6de56b94dfae3d0f7115d070add740cb60aa13cd4547398bb61d9dbd2b8ebc",
-    "hybrid_update": "7a31ec008dc577611c48afaa108f5d1106cde6225ae6c1cf0e59bb8b84dca36a",
-    "phase_priority": "9b4b4d90808a5f86c2ef448734085c9cdee200a0416379965e58128f5b48b0c4",
-    "widir": "ae07e4bcec3d91a667c70a13386472cf9205355e347a4b8cab9fc44af9d32de8",
+    "baseline": "957c62a1c6749ee2959762682d33faea3988afdb58468958cf60df575ad86228",
+    "hybrid_update": "45b11df862d44ce949b38de4efc54b75654d2b55e8e615d7bcd591e8bb8702f1",
+    "phase_priority": "33fcc214d72e1aa245aadd44776157f021e11027265f85a990885358fe0f7529",
+    "widir": "9fc7f1e9380f4e6ad8d4b9bd9c8d0e87d6c392900a6da3b35edd46a3f8a9d867",
 }
 
 

@@ -19,7 +19,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.engine.rng import DeterministicRng
 from repro.engine.simulator import Simulator
 from repro.stats.collectors import StatsRegistry
-from repro.wireless.brs import BackoffPolicy
+from repro.wireless.mac import BackoffPolicy
 from repro.wireless.tone import ToneChannel
 
 SETTINGS = settings(
